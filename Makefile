@@ -1,0 +1,43 @@
+# Convenience targets for the Medusa reproduction.
+
+GO ?= go
+
+.PHONY: all build test short bench figures examples fuzz cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Skip the long trace simulations and CLI integration tests.
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table/figure into results/, mirroring the original
+# artifact's `python scripts/<exp>.py > results/<Figure>` workflow.
+figures:
+	$(GO) run ./cmd/medusa-bench -all -out results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/graph-materialize
+	$(GO) run ./examples/serverless-burst
+	$(GO) run ./examples/batch-sweep
+	$(GO) run ./examples/multimodel
+
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzDecode -fuzztime 30s ./internal/medusa/
+	$(GO) test -run xxx -fuzz FuzzEncodeDecode -fuzztime 30s ./internal/tokenizer/
+
+cover:
+	$(GO) test -cover ./internal/...
+
+clean:
+	rm -rf results

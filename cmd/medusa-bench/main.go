@@ -1,0 +1,78 @@
+// Command medusa-bench regenerates the paper's tables and figures
+// against the simulated substrate.
+//
+// Usage:
+//
+//	medusa-bench -list
+//	medusa-bench -exp fig7
+//	medusa-bench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/medusa-repro/medusa/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (see -list)")
+	all := flag.Bool("all", false, "run every registered experiment")
+	list := flag.Bool("list", false, "list experiment ids")
+	format := flag.String("format", "text", "output format: text | csv")
+	outDir := flag.String("out", "", "also write each result to <dir>/<id>.txt (the artifact's results/ layout)")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ctx := experiments.NewContext()
+	run := func(id string) error {
+		r, err := experiments.Run(ctx, id)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		var rendered string
+		switch *format {
+		case "csv":
+			rendered = r.RenderCSV()
+		case "text":
+			rendered = r.Render() + "\n"
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+		fmt.Print(rendered)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*outDir, id+".txt")
+			if err := os.WriteFile(path, []byte(rendered), 0o644); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch {
+	case *all:
+		for _, id := range experiments.IDs() {
+			if err := run(id); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+		}
+	case *exp != "":
+		if err := run(*exp); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,57 @@
+// Command medusa-offline runs Medusa's offline phase — the capturing
+// stage and the analysis stage — for one model or the whole zoo, and
+// reports the materialization inventory (the counterpart of the
+// artifact's `scripts/serverless_llm.py --offline` step).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/model"
+	"github.com/medusa-repro/medusa/internal/storage"
+	"github.com/medusa-repro/medusa/internal/vclock"
+)
+
+func main() {
+	name := flag.String("model", "", "model name (e.g. \"Qwen1.5-4B\"); empty runs the full zoo")
+	flag.Parse()
+
+	var configs []model.Config
+	if *name == "" {
+		configs = model.Zoo()
+	} else {
+		cfg, err := model.ByName(*name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		configs = []model.Config{cfg}
+	}
+
+	store := storage.NewStore(storage.DefaultArray())
+	fmt.Printf("%-14s %12s %12s %12s %10s %8s\n",
+		"model", "capturing(s)", "analysis(s)", "total(s)", "nodes", "MB")
+	for i, cfg := range configs {
+		clock := vclock.New()
+		art, report, err := engine.RunOffline(engine.OfflineOptions{
+			Model: cfg, Store: store, Seed: int64(1000 + i), Clock: clock,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %s: %v\n", cfg.Name, err)
+			os.Exit(1)
+		}
+		stats := art.Stats()
+		fmt.Printf("%-14s %12.2f %12.2f %12.2f %10d %8.2f\n",
+			cfg.Name,
+			report.CaptureStageDuration.Seconds(),
+			report.AnalysisDuration.Seconds(),
+			report.Total().Seconds(),
+			report.TotalNodes,
+			float64(report.ArtifactBytes)/(1<<20))
+		fmt.Printf("    params: %d pointers, %d constants; %d kernels; %d permanent buffers; stored at %q\n",
+			stats.Pointers, stats.Constants, len(art.Kernels), len(art.Permanent), report.ArtifactKey)
+	}
+}

@@ -1,0 +1,112 @@
+// Command medusa-simulate runs the serverless cluster simulation for
+// one (model, strategy, workload) combination and prints latency
+// statistics — the building block behind Figures 10 and 11.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/model"
+	"github.com/medusa-repro/medusa/internal/serverless"
+	"github.com/medusa-repro/medusa/internal/storage"
+	"github.com/medusa-repro/medusa/internal/workload"
+)
+
+func main() {
+	modelName := flag.String("model", "Qwen1.5-4B", "model name")
+	strategyName := flag.String("strategy", "medusa", "vllm | async | nograph | medusa")
+	rps := flag.Float64("rps", 10, "mean request rate (Poisson)")
+	durSec := flag.Int("duration", 60, "trace duration in seconds")
+	gpus := flag.Int("gpus", 4, "GPU count")
+	prewarm := flag.Int("prewarm", 0, "instances pre-warmed at time zero")
+	seed := flag.Int64("seed", 90125, "trace seed")
+	followup := flag.Float64("followup", 0, "probability of a conversational follow-up turn (0 disables)")
+	think := flag.Duration("think", 8*time.Second, "user think time before a follow-up")
+	slo := flag.Duration("slo", time.Second, "TTFT SLO threshold to report attainment against")
+	traceIn := flag.String("trace", "", "read the request trace from a JSONL file instead of generating one")
+	traceOut := flag.String("trace-out", "", "write the generated trace to a JSONL file for replay")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	cfg, err := model.ByName(*modelName)
+	if err != nil {
+		fail(err)
+	}
+	strategy, err := engine.ParseStrategy(*strategyName)
+	if err != nil {
+		fail(err)
+	}
+	store := storage.NewStore(storage.DefaultArray())
+	sc := serverless.Config{
+		Model: cfg, Strategy: strategy, Store: store,
+		NumGPUs: *gpus, Prewarm: *prewarm, Seed: 1,
+	}
+	if *followup > 0 {
+		sc.FollowUp = &serverless.FollowUpModel{
+			Probability: *followup, ThinkTime: *think, MaxTurns: 6,
+		}
+	}
+	if strategy == engine.StrategyMedusa {
+		fmt.Println("running offline phase (artifact not cached)...")
+		art, report, err := engine.RunOffline(engine.OfflineOptions{Model: cfg, Store: store, Seed: 7})
+		if err != nil {
+			fail(err)
+		}
+		sc.Artifact = art
+		sc.ArtifactBytes = report.ArtifactBytes
+	}
+	var reqs []workload.Request
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fail(err)
+		}
+		reqs, err = workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		var err error
+		reqs, err = workload.Generate(workload.TraceConfig{
+			Seed: *seed, RPS: *rps, Duration: time.Duration(*durSec) * time.Second,
+		})
+		if err != nil {
+			fail(err)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := workload.WriteTrace(f, reqs); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace written to %s (%d requests)\n", *traceOut, len(reqs))
+	}
+	res, err := serverless.Run(sc, reqs)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("model=%s strategy=%s rps=%.1f duration=%ds requests=%d\n",
+		cfg.Name, strategy, *rps, *durSec, len(reqs))
+	fmt.Printf("  completed:      %d\n", res.Completed)
+	fmt.Printf("  cold starts:    %d (peak instances %d)\n", res.ColdStarts, res.PeakInstances)
+	fmt.Printf("  throughput:     %.2f req/s\n", res.Throughput)
+	fmt.Printf("  TTFT p50/p99:   %.3fs / %.3fs\n", res.TTFT.P50().Seconds(), res.TTFT.P99().Seconds())
+	fmt.Printf("  E2E  p50/p99:   %.3fs / %.3fs\n", res.E2E.P50().Seconds(), res.E2E.P99().Seconds())
+	fmt.Printf("  TTFT ≤ %v:      %.1f%% of requests\n", *slo, res.TTFT.FractionBelow(*slo)*100)
+	fmt.Println("\nTTFT distribution (100ms buckets):")
+	fmt.Print(res.TTFT.Histogram(100*time.Millisecond, 50))
+}

@@ -1,0 +1,11 @@
+// Package medusa is the root of a full reproduction of
+// "Medusa: Accelerating Serverless LLM Inference with Materialization"
+// (Zeng et al., ASPLOS 2025) in pure Go.
+//
+// The public entry points live under internal/ by design: this is a
+// research reproduction whose API surface is the experiment harness
+// (cmd/medusa-bench), the offline/online pipeline (cmd/medusa-offline,
+// cmd/medusa-inspect), the cluster simulator (cmd/medusa-simulate), and
+// the runnable examples under examples/. Start with README.md and
+// DESIGN.md.
+package medusa

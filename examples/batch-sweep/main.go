@@ -1,0 +1,68 @@
+// batch-sweep walks vLLM's 35 capture batch sizes for one model,
+// showing per-batch graph shapes (node counts, the padded largest
+// graphs) and the decode-iteration latency with CUDA graphs versus
+// per-kernel launches — the microscopic view behind Figure 3.
+//
+//	go run ./examples/batch-sweep [-model Qwen1.5-4B]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/kernels"
+	"github.com/medusa-repro/medusa/internal/model"
+	"github.com/medusa-repro/medusa/internal/storage"
+)
+
+func main() {
+	name := flag.String("model", "Qwen1.5-4B", "model name")
+	flag.Parse()
+	cfg, err := model.ByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := storage.NewStore(storage.DefaultArray())
+	withG, err := engine.ColdStart(engine.Options{
+		Model: cfg, Strategy: engine.StrategyVLLM, Seed: 1, Store: store,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	withoutG, err := engine.ColdStart(engine.Options{
+		Model: cfg, Strategy: engine.StrategyNoGraph, Seed: 2, Store: store,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sizes := model.CaptureBatchSizes()
+	fmt.Printf("%s: %d layers × %d kernels + %d epilogue nodes; %d graphs captured\n\n",
+		cfg.Name, cfg.Layers, cfg.Family.KernelsPerLayer(), cfg.EpilogueNodes, len(sizes))
+	fmt.Printf("%6s %8s %8s %12s %12s %8s\n",
+		"batch", "bucket", "nodes", "graph (ms)", "eager (ms)", "speedup")
+	total := 0
+	for _, b := range sizes {
+		dg, err := withG.DecodeStepDuration(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		de, err := withoutG.DecodeStepDuration(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes := cfg.NodesPerGraph(b, sizes)
+		total += nodes
+		pad := ""
+		if cfg.GraphPadded(b, sizes) {
+			pad = "*"
+		}
+		fmt.Printf("%6d %8d %7d%1s %12.3f %12.3f %7.2fx\n",
+			b, kernels.GemmBucket(b), nodes, pad,
+			float64(dg.Microseconds())/1000, float64(de.Microseconds())/1000,
+			float64(de)/float64(dg))
+	}
+	fmt.Printf("\ntotal nodes: %d (Table 1); * = padded graph\n", total)
+}

@@ -1,0 +1,87 @@
+// serverless-burst simulates the paper's motivating scenario: an LLM
+// inference service facing bursty traffic (10–20× rate swings within
+// 30-second windows, §1). Bursts force scale-out; every new instance
+// pays a cold start on the request path. The example compares how the
+// four loading strategies absorb the same burst train.
+//
+//	go run ./examples/serverless-burst
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/model"
+	"github.com/medusa-repro/medusa/internal/serverless"
+	"github.com/medusa-repro/medusa/internal/storage"
+	"github.com/medusa-repro/medusa/internal/workload"
+)
+
+func main() {
+	cfg, err := model.ByName("Llama2-7B")
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := storage.NewStore(storage.DefaultArray())
+
+	fmt.Println("running Medusa offline phase for", cfg.Name, "…")
+	artifact, report, err := engine.RunOffline(engine.OfflineOptions{
+		Model: cfg, Store: store, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reqs, err := workload.GenerateBursty(workload.BurstConfig{
+		Seed:     17,
+		BaseRPS:  2,
+		BurstRPS: 40,
+		Period:   30 * time.Second,
+		BurstLen: 6 * time.Second,
+		Duration: 2 * time.Minute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d requests over 2m (base 2 RPS, 6s bursts of 40 RPS every 30s)\n\n", len(reqs))
+
+	fmt.Printf("%-15s %12s %12s %12s %12s %6s\n",
+		"strategy", "p50 TTFT", "p99 TTFT", "p99 E2E", "throughput", "colds")
+	for _, s := range []engine.Strategy{
+		engine.StrategyVLLM, engine.StrategyVLLMAsync, engine.StrategyNoGraph, engine.StrategyMedusa,
+	} {
+		sc := serverless.Config{
+			Model:          cfg,
+			Strategy:       s,
+			Store:          store,
+			NumGPUs:        4,
+			Prewarm:        1,
+			InstanceTarget: 48, // aggressive scale-out so bursts spawn instances
+			IdleTimeout:    15 * time.Second,
+			// ShareGPT is conversational: a third of answers draw a
+			// follow-up question over the accumulated context.
+			FollowUp: &serverless.FollowUpModel{
+				Probability: 0.33,
+				ThinkTime:   8 * time.Second,
+				MaxTurns:    4,
+				NewTokens:   40,
+			},
+			Seed: 5,
+		}
+		if s == engine.StrategyMedusa {
+			sc.Artifact = artifact
+			sc.ArtifactBytes = report.ArtifactBytes
+		}
+		res, err := serverless.Run(sc, reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s %11.3fs %11.3fs %11.3fs %9.2f r/s %6d\n",
+			s, res.TTFT.P50().Seconds(), res.TTFT.P99().Seconds(),
+			res.E2E.P99().Seconds(), res.Throughput, res.ColdStarts)
+	}
+	fmt.Println("\nFaster cold starts let the autoscaler absorb bursts before queues build:")
+	fmt.Println("Medusa's restored instances come online ~2x sooner than vanilla vLLM's.")
+}

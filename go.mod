@@ -1,0 +1,3 @@
+module github.com/medusa-repro/medusa
+
+go 1.23

@@ -1,0 +1,110 @@
+package cuda
+
+import (
+	"testing"
+
+	"github.com/medusa-repro/medusa/internal/gpu"
+	"github.com/medusa-repro/medusa/internal/vclock"
+)
+
+// Micro-benchmarks of the simulator's hot paths: launch dispatch,
+// capture recording, and graph replay. These measure host (simulator)
+// performance, not the virtual-time cost model.
+
+func benchProc(b *testing.B) (*Process, *Stream, []Value) {
+	b.Helper()
+	p := NewProcess(testRuntime(b), vclock.New(), Config{Seed: 1, Mode: gpu.CostOnly})
+	s := p.NewStream()
+	d, err := p.Malloc(1 << 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := []Value{PtrValue(d), PtrValue(d), PtrValue(d), U32Value(64)}
+	if err := p.Launch(s, "vec_add_f32", args); err != nil { // load module
+		b.Fatal(err)
+	}
+	return p, s, args
+}
+
+func BenchmarkKernelLaunch(b *testing.B) {
+	p, s, args := benchProc(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Launch(s, "vec_add_f32", args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCaptureRecord(b *testing.B) {
+	p, s, args := benchProc(b)
+	if err := s.BeginCapture(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Launch(s, "vec_add_f32", args); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, err := s.EndCapture(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func captureGraph(b *testing.B, nodes int) (*Process, *Stream, *GraphExec) {
+	b.Helper()
+	p, s, args := benchProc(b)
+	if err := s.BeginCapture(); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < nodes; i++ {
+		if err := p.Launch(s, "vec_add_f32", args); err != nil {
+			b.Fatal(err)
+		}
+	}
+	g, err := s.EndCapture()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ge, err := g.Instantiate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, s, ge
+}
+
+func BenchmarkGraphReplay512Nodes(b *testing.B) {
+	_, s, ge := captureGraph(b, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ge.Launch(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(512, "nodes/replay")
+}
+
+func BenchmarkInstantiate512Nodes(b *testing.B) {
+	p, s, ge := captureGraph(b, 512)
+	_ = s
+	g := ge.Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Instantiate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopoOrder512Nodes(b *testing.B) {
+	_, _, ge := captureGraph(b, 512)
+	g := ge.Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.TopoOrder(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

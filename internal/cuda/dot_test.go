@@ -1,0 +1,49 @@
+package cuda
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGraphDOT(t *testing.T) {
+	p := newProc(t, 42)
+	s := p.NewStream()
+	d := mustMalloc(t, p, 64)
+	args := []Value{PtrValue(d), PtrValue(d), PtrValue(d), U32Value(4)}
+	if err := p.Launch(s, "vec_add_f32", args); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BeginCapture(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.Launch(s, "vec_add_f32", args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := s.EndCapture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.DOT("test", p.KernelResolver())
+	for _, want := range []string{
+		"digraph \"test\"",
+		"n0 [label=\"0: vec_add_f32",
+		"n0 -> n1;",
+		"n1 -> n2;",
+		"4 params",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Without a resolver the raw address appears.
+	raw := g.DOT("raw", nil)
+	if !strings.Contains(raw, "0x7f") {
+		t.Fatalf("unresolved DOT lacks addresses:\n%s", raw)
+	}
+	// Deterministic output.
+	if dot != g.DOT("test", p.KernelResolver()) {
+		t.Fatal("DOT not deterministic")
+	}
+}

@@ -1,0 +1,54 @@
+package cuda
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCaptureActive is returned when a second stream capture is begun
+// while one is in progress. Real CUDA forbids concurrent captures within
+// a process, which is why the paper captures its 35 graphs one by one
+// (§2.2, "The limitations and characteristics of capturing").
+var ErrCaptureActive = errors.New("cuda: a stream capture is already active in this process")
+
+// ErrNoCapture is returned by EndCapture when the stream is not
+// capturing.
+var ErrNoCapture = errors.New("cuda: stream is not capturing")
+
+// CaptureInvalidatedError reports that an operation forbidden during
+// stream capture (synchronization, lazy module loading) invalidated the
+// capture. This is the mechanism that forces warm-up forwarding before
+// capture (§2.3).
+type CaptureInvalidatedError struct {
+	Op string
+}
+
+func (e *CaptureInvalidatedError) Error() string {
+	return fmt.Sprintf("cuda: operation %q is prohibited during stream capture; capture invalidated", e.Op)
+}
+
+// UnknownKernelError reports a launch or instantiation referencing a
+// kernel the process has not loaded. A restored graph with a stale
+// kernel address fails this way.
+type UnknownKernelError struct {
+	Name string
+	Addr uint64
+}
+
+func (e *UnknownKernelError) Error() string {
+	if e.Name != "" {
+		return fmt.Sprintf("cuda: unknown kernel %q", e.Name)
+	}
+	return fmt.Sprintf("cuda: no kernel loaded at address %#x (invalid device function)", e.Addr)
+}
+
+// ParamMismatchError reports a launch whose arguments do not match the
+// kernel's declared schema.
+type ParamMismatchError struct {
+	Kernel string
+	Detail string
+}
+
+func (e *ParamMismatchError) Error() string {
+	return fmt.Sprintf("cuda: kernel %q parameter mismatch: %s", e.Kernel, e.Detail)
+}

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"time"
+
+	"github.com/medusa-repro/medusa/internal/model"
+)
+
+// Calibrated cost-model constants. Anchors come from the paper's
+// Figure 8(a) breakdown of Qwen1.5-4B on an A100-40GB (struct init
+// 0.85 s, weights 0.39 s, tokenizer 0.21 s, KV init 0.50 s, capture
+// 0.90 s) and Figure 1's phase split (runtime init 22%, loading 76%,
+// first token 2%). See DESIGN.md §4.
+const (
+	// launchOverhead is the CPU cost of one individual kernel launch.
+	// Together with the per-kernel execution floor it produces the ≤2.4×
+	// CUDA-graph acceleration of Figure 3.
+	launchOverhead = 6 * time.Microsecond
+	// captureOverhead is the CPU cost of recording one launch during
+	// stream capture.
+	captureOverhead = 3 * time.Microsecond
+	// graphLaunchOverhead is the single CPU submission replaying a
+	// whole graph.
+	graphLaunchOverhead = 30 * time.Microsecond
+	// instantiateNodeCost is cudaGraphInstantiate's per-node cost; it
+	// dominates both vanilla capture post-processing and Medusa's
+	// restore stage.
+	instantiateNodeCost = 32 * time.Microsecond
+
+	// runtimeInitDuration is the container + Python + framework import
+	// phase, eliminated by warm pools in the trace experiments.
+	runtimeInitDuration = 830 * time.Millisecond
+
+	// structInit* model per-layer module construction and tensor buffer
+	// allocation (Python-side): 0.01 + 0.02·layers + 0.0055·GB seconds.
+	structInitBase     = 10 * time.Millisecond
+	structInitPerLayer = 20 * time.Millisecond
+	structInitPerGB    = 5500 * time.Microsecond
+
+	// kvProfileOverhead covers profiling setup and the post-profiling
+	// cache flush; kvBlockAllocDuration is carving the KV block pool —
+	// the only part Medusa keeps (Figure 8c's 0.02 s).
+	kvProfileOverhead    = 50 * time.Millisecond
+	kvBlockAllocDuration = 20 * time.Millisecond
+
+	// asyncWeightsInterference stretches the async weights stream while
+	// the profiling forwarding saturates the GPU (§7.3's +0.08 s).
+	asyncWeightsInterference = 1.2
+
+	// artifactDecodePerNode is the CPU cost of parsing one materialized
+	// node at restore time.
+	artifactDecodePerNode = time.Microsecond
+
+	// firstTokenOverhead is API/scheduler overhead before the first
+	// prefill of a fresh instance.
+	firstTokenOverhead = 30 * time.Millisecond
+
+	// defaultSampleSeed seeds the sampling kernel; a small value that
+	// the pointer heuristic correctly classifies as a constant.
+	defaultSampleSeed = 0x5eed
+
+	// Offline-phase accounting (Figure 9): the instrumented capturing
+	// run pays a fixed tooling cost plus tracing overhead proportional
+	// to the loading phase; analysis is dominated by per-node work
+	// across all 35 graphs.
+	offlineCaptureFixed  = 6 * time.Second
+	offlineCaptureFactor = 1.3
+	analysisPerNode      = 2050 * time.Microsecond
+)
+
+// structInitDuration models stage ① for a model.
+func structInitDuration(cfg model.Config) time.Duration {
+	gb := float64(cfg.LoadBytes()) / (1 << 30)
+	return structInitBase +
+		time.Duration(cfg.Layers)*structInitPerLayer +
+		time.Duration(gb*float64(structInitPerGB))
+}
+
+// profileTokens is the token budget of the KV profiling forwarding
+// (vLLM's max_num_batched_tokens capped by the model's context).
+func profileTokens(cfg model.Config) int {
+	t := cfg.MaxSeqLen
+	if t > 8192 {
+		t = 8192
+	}
+	if cfg.Functional && t > 16 {
+		t = 16
+	}
+	return t
+}
+
+// functionalKVBlockCap bounds the KV pool of tiny functional models so
+// their caches stay materializable in host memory.
+const functionalKVBlockCap = 128
+
+// artifactSizeEstimate approximates an encoded artifact's size when the
+// caller did not supply the real one.
+func artifactSizeEstimate(totalNodes int) uint64 {
+	const perNode = 280 // measured average wire bytes per node
+	return uint64(totalNodes)*perNode + 64*1024
+}

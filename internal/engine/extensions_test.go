@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"github.com/medusa-repro/medusa/internal/model"
+	"github.com/medusa-repro/medusa/internal/storage"
+)
+
+func TestCheckpointStrategy(t *testing.T) {
+	cfg, _ := model.ByName("Qwen1.5-4B")
+	store := storage.NewStore(storage.DefaultArray())
+	base := mustColdStart(t, Options{Model: cfg, Strategy: StrategyVLLM, Seed: 300, Store: store})
+	ckptBytes, err := TakeCheckpoint(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckptBytes < cfg.ParamBytes {
+		t.Fatalf("checkpoint %d bytes smaller than weights %d", ckptBytes, cfg.ParamBytes)
+	}
+	if !store.Exists(CheckpointKey(cfg.Name)) {
+		t.Fatal("checkpoint not persisted")
+	}
+	inst := mustColdStart(t, Options{
+		Model: cfg, Strategy: StrategyCheckpoint, Seed: 301, Store: store, CheckpointBytes: ckptBytes,
+	})
+	// The observable timeline is a single restore stage.
+	if _, ok := inst.Timeline().Stage(StageCkptRestore); !ok {
+		t.Fatal("checkpoint timeline missing restore stage")
+	}
+	if _, ok := inst.Timeline().Stage(StageStructInit); ok {
+		t.Fatal("checkpoint timeline leaks loading stages")
+	}
+	// Restore must at least cover streaming the image.
+	minRestore := store.Array().ReadDuration(ckptBytes)
+	if inst.LoadingDuration() < minRestore {
+		t.Fatalf("restore %v below image stream time %v", inst.LoadingDuration(), minRestore)
+	}
+	// And the instance still serves.
+	if _, err := inst.DecodeStepDuration(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointRequiresBytes(t *testing.T) {
+	cfg, _ := model.ByName("Qwen1.5-0.5B")
+	if _, err := ColdStart(Options{Model: cfg, Strategy: StrategyCheckpoint, Seed: 1}); err == nil {
+		t.Fatal("checkpoint cold start without image size accepted")
+	}
+}
+
+func TestTPShardFunctionalEndToEnd(t *testing.T) {
+	// Tensor-parallel Medusa on a functional model: every rank's
+	// restored graphs must replay identically to its own vLLM capture —
+	// the §8 "core concepts remain applicable" claim, executed.
+	cfg := model.TestTiny("tp-tiny")
+	store := storage.NewStore(storage.DefaultArray())
+	res, err := TPColdStart(TPOptions{
+		Model: cfg, Degree: 2, Strategy: StrategyMedusa,
+		Store: store, Seed: 400, CaptureSizes: tinySizes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranks) != 2 {
+		t.Fatalf("ranks = %d", len(res.Ranks))
+	}
+	for rank, inst := range res.Ranks {
+		shard, err := cfg.Shard(rank, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := ColdStart(Options{
+			Model: shard, Strategy: StrategyVLLM, Seed: int64(500 + rank),
+			Store: store, CaptureSizes: tinySizes,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range tinySizes {
+			want, err := ref.RunValidationForward(b, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := inst.RunValidationForward(b, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("rank %d batch %d: restored shard output differs", rank, b)
+			}
+		}
+	}
+}
+
+func TestTPColdStartScaling(t *testing.T) {
+	cfg, _ := model.ByName("Llama2-13B")
+	store := storage.NewStore(storage.DefaultArray())
+	var prev time.Duration
+	for _, degree := range []int{1, 2, 4} {
+		res, err := TPColdStart(TPOptions{
+			Model: cfg, Degree: degree, Strategy: StrategyVLLM, Store: store, Seed: 600,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.RankLoading) != degree {
+			t.Fatalf("degree %d: %d rank durations", degree, len(res.RankLoading))
+		}
+		if degree > 1 {
+			if res.SyncSetup == 0 {
+				t.Fatal("no sync setup charged for multi-rank start")
+			}
+			if res.LoadingDuration >= prev {
+				t.Fatalf("TP%d loading %v not below TP%d's %v", degree, res.LoadingDuration, degree/2, prev)
+			}
+		}
+		prev = res.LoadingDuration
+	}
+}
+
+func TestTPDecodeStepIncludesAllReduce(t *testing.T) {
+	cfg, _ := model.ByName("Llama2-13B")
+	store := storage.NewStore(storage.DefaultArray())
+	tp2, err := TPColdStart(TPOptions{Model: cfg, Degree: 2, Strategy: StrategyVLLM, Store: store, Seed: 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := tp2.DecodeStepDuration(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rankStep, err := tp2.Ranks[0].DecodeStepDuration(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step <= rankStep {
+		t.Fatalf("TP step %v not above rank step %v (all-reduce missing)", step, rankStep)
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	cfg := model.TestTiny("tiny")
+	if _, err := cfg.Shard(2, 2); err == nil {
+		t.Fatal("rank out of range accepted")
+	}
+	if _, err := cfg.Shard(0, 3); err == nil {
+		t.Fatal("non-divisible degree accepted")
+	}
+	s, err := cfg.Shard(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TP() != 2 || s.TPRank != 1 {
+		t.Fatalf("shard = %+v", s)
+	}
+	// Shards halve the big matrices but replicate norms/embeddings.
+	var full, half uint64
+	for _, spec := range cfg.Tensors() {
+		full += cfg.TensorBytes(spec)
+	}
+	for _, spec := range s.Tensors() {
+		half += s.TensorBytes(spec)
+	}
+	if half >= full || half < full/2 {
+		t.Fatalf("shard bytes %d vs full %d", half, full)
+	}
+}

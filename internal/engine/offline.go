@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"github.com/medusa-repro/medusa/internal/cuda"
+	"github.com/medusa-repro/medusa/internal/medusa"
+	"github.com/medusa-repro/medusa/internal/model"
+	"github.com/medusa-repro/medusa/internal/storage"
+	"github.com/medusa-repro/medusa/internal/vclock"
+)
+
+// ArtifactKey is the store object name of a model's artifact.
+func ArtifactKey(modelName string) string { return "medusa/artifacts/" + modelName }
+
+// OfflineOptions configures Medusa's offline phase.
+type OfflineOptions struct {
+	// Model selects the model to materialize.
+	Model model.Config
+	// Store receives the encoded artifact.
+	Store *storage.Store
+	// Runtime is the installed kernel environment (nil: standard set).
+	Runtime *cuda.Runtime
+	// Seed randomizes the offline process.
+	Seed int64
+	// Clock accumulates the offline phase's duration (Figure 9).
+	Clock *vclock.Clock
+	// CaptureSizes overrides the batch sizes (default: vLLM's 35).
+	CaptureSizes []int
+	// SkipValidation disables the validation forwarding loop (used by
+	// ablations; cost-only models skip output comparison regardless).
+	SkipValidation bool
+	// NaiveFirstMatch switches the analysis to the forward first-match
+	// strawman (§4.1 ablation).
+	NaiveFirstMatch bool
+}
+
+// OfflineReport describes one offline run — the quantities Figure 9
+// plots.
+type OfflineReport struct {
+	// CaptureStageDuration covers the instrumented cold start that
+	// records the trace and captures the graphs.
+	CaptureStageDuration time.Duration
+	// AnalysisDuration covers indirect-index analysis, classification,
+	// validation, and artifact encoding.
+	AnalysisDuration time.Duration
+	// TotalNodes is the node count across all materialized graphs.
+	TotalNodes int
+	// ArtifactBytes is the encoded artifact size.
+	ArtifactBytes uint64
+	// Correction reports the validation/correction outcome.
+	Correction medusa.CorrectionResult
+	// IndirectPointerWarnings counts suspected pointers stored inside
+	// referenced buffers (the §8 out-of-scope case; expected 0).
+	IndirectPointerWarnings int
+	// ArtifactKey is where the artifact was stored.
+	ArtifactKey string
+}
+
+// Total is the end-to-end offline phase duration.
+func (r *OfflineReport) Total() time.Duration {
+	return r.CaptureStageDuration + r.AnalysisDuration
+}
+
+// RunOffline executes Medusa's offline phase for one model: an
+// instrumented cold start (capturing stage), trace analysis, validation
+// forwarding with false-positive correction, and artifact persistence.
+// It returns the decoded artifact ready for online use.
+func RunOffline(opts OfflineOptions) (*medusa.Artifact, *OfflineReport, error) {
+	if opts.Clock == nil {
+		opts.Clock = vclock.New()
+	}
+	if opts.Store == nil {
+		opts.Store = storage.NewStore(storage.DefaultArray())
+	}
+	rec := medusa.NewRecorder()
+	inst, err := ColdStart(Options{
+		Model:        opts.Model,
+		Strategy:     StrategyVLLM,
+		Seed:         opts.Seed,
+		Store:        opts.Store,
+		Runtime:      opts.Runtime,
+		CaptureSizes: opts.CaptureSizes,
+		Recorder:     rec,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: offline capturing stage: %w", err)
+	}
+	report := &OfflineReport{}
+	loading := inst.LoadingDuration()
+	// The instrumented run pays interception/tracing overhead on top of
+	// a plain cold start, plus fixed tooling cost (Figure 9's roughly
+	// constant capturing stage).
+	report.CaptureStageDuration = offlineCaptureFixed +
+		time.Duration(float64(loading)*offlineCaptureFactor)
+	opts.Clock.Advance(report.CaptureStageDuration)
+
+	analysisWatch := opts.Clock.StartWatch()
+	art, err := medusa.Analyze(rec, inst.Process(), medusa.AnalyzeOptions{
+		ModelName:       opts.Model.Name,
+		NaiveFirstMatch: opts.NaiveFirstMatch,
+		SkipContents:    !opts.Model.Functional,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: analysis stage: %w", err)
+	}
+	report.TotalNodes = art.TotalNodes()
+	opts.Clock.Advance(time.Duration(report.TotalNodes) * analysisPerNode)
+
+	if opts.Model.Functional && !opts.SkipValidation {
+		// §8 guard: referenced buffers must not themselves store device
+		// pointers, or restoration would leave them stale.
+		warnings, err := medusa.ScanIndirectPointers(rec, inst.Process(), art)
+		if err != nil {
+			return nil, nil, err
+		}
+		report.IndirectPointerWarnings = len(warnings)
+
+		correction, err := validateArtifact(inst, art, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		report.Correction = correction
+	}
+
+	encoded, err := art.Encode()
+	if err != nil {
+		return nil, nil, err
+	}
+	report.ArtifactBytes = uint64(len(encoded))
+	report.ArtifactKey = ArtifactKey(opts.Model.Name)
+	opts.Store.Put(opts.Clock, report.ArtifactKey, encoded)
+	report.AnalysisDuration = analysisWatch.Elapsed()
+	return art, report, nil
+}
+
+// validateArtifact runs the paper's validation forwarding: reference
+// outputs come from the offline instance's original graphs; the
+// speculative artifact is restored into fresh processes (new seeds, new
+// address space) and must reproduce them bit-for-bit. Mismatches drive
+// the correction search.
+func validateArtifact(offline *Instance, art *medusa.Artifact, opts OfflineOptions) (medusa.CorrectionResult, error) {
+	const validationStep = 7
+	refs := make(map[int][]byte, len(art.Batches()))
+	for _, b := range art.Batches() {
+		out, err := offline.RunValidationForward(b, validationStep)
+		if err != nil {
+			return medusa.CorrectionResult{}, fmt.Errorf("engine: reference forwarding (batch %d): %w", b, err)
+		}
+		refs[b] = out
+	}
+	seed := opts.Seed
+	validate := func(a *medusa.Artifact) ([]int, error) {
+		seed++
+		fresh, err := ColdStart(Options{
+			Model:        opts.Model,
+			Strategy:     StrategyMedusa,
+			Seed:         seed ^ 0x5a5a5a,
+			Store:        opts.Store,
+			Runtime:      opts.Runtime,
+			CaptureSizes: opts.CaptureSizes,
+			Artifact:     a,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var mismatched []int
+		for _, b := range a.Batches() {
+			out, err := fresh.RunValidationForward(b, validationStep)
+			if err != nil {
+				return nil, err
+			}
+			if !bytes.Equal(out, refs[b]) {
+				mismatched = append(mismatched, b)
+			}
+		}
+		return mismatched, nil
+	}
+	res, err := art.ValidateAndCorrect(validate)
+	if err != nil {
+		return res, fmt.Errorf("engine: validation: %w", err)
+	}
+	return res, nil
+}
+
+// LoadArtifact fetches and decodes a model's artifact from the store,
+// charging read time on the clock.
+func LoadArtifact(store *storage.Store, clock *vclock.Clock, modelName string) (*medusa.Artifact, uint64, error) {
+	raw, err := store.Get(clock, ArtifactKey(modelName))
+	if err != nil {
+		return nil, 0, err
+	}
+	art, err := medusa.Decode(raw)
+	if err != nil {
+		return nil, 0, err
+	}
+	return art, uint64(len(raw)), nil
+}

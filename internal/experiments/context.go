@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/medusa"
+	"github.com/medusa-repro/medusa/internal/model"
+	"github.com/medusa-repro/medusa/internal/storage"
+	"github.com/medusa-repro/medusa/internal/vclock"
+)
+
+// Context carries shared state across experiments: the SSD store and a
+// cache of offline artifacts (the offline phase runs once per model, as
+// in the paper's deployment model).
+type Context struct {
+	Store *storage.Store
+
+	mu        sync.Mutex
+	artifacts map[string]*artifactEntry
+	baselines map[string]*engine.Instance
+	seed      int64
+}
+
+type artifactEntry struct {
+	art    *medusa.Artifact
+	bytes  uint64
+	report *engine.OfflineReport
+}
+
+// NewContext returns a fresh experiment context.
+func NewContext() *Context {
+	return &Context{
+		Store:     storage.NewStore(storage.DefaultArray()),
+		artifacts: make(map[string]*artifactEntry),
+		baselines: make(map[string]*engine.Instance),
+		seed:      1,
+	}
+}
+
+// NextSeed hands out distinct process seeds.
+func (c *Context) NextSeed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seed++
+	return c.seed * 7919
+}
+
+// Artifact runs (or reuses) the offline phase for a model.
+func (c *Context) Artifact(cfg model.Config) (*medusa.Artifact, uint64, *engine.OfflineReport, error) {
+	c.mu.Lock()
+	e, ok := c.artifacts[cfg.Name]
+	c.mu.Unlock()
+	if ok {
+		return e.art, e.bytes, e.report, nil
+	}
+	art, report, err := engine.RunOffline(engine.OfflineOptions{
+		Model: cfg,
+		Store: c.Store,
+		Seed:  c.NextSeed(),
+		Clock: vclock.New(),
+	})
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("offline phase for %s: %w", cfg.Name, err)
+	}
+	e = &artifactEntry{art: art, bytes: report.ArtifactBytes, report: report}
+	c.mu.Lock()
+	c.artifacts[cfg.Name] = e
+	c.mu.Unlock()
+	return e.art, e.bytes, e.report, nil
+}
+
+// ColdStart launches an instance with the strategy, resolving the
+// artifact when Medusa is requested.
+func (c *Context) ColdStart(cfg model.Config, strategy engine.Strategy, runtimeInit bool) (*engine.Instance, error) {
+	opts := engine.Options{
+		Model:              cfg,
+		Strategy:           strategy,
+		Seed:               c.NextSeed(),
+		Store:              c.Store,
+		IncludeRuntimeInit: runtimeInit,
+	}
+	if strategy == engine.StrategyMedusa {
+		art, size, _, err := c.Artifact(cfg)
+		if err != nil {
+			return nil, err
+		}
+		opts.Artifact = art
+		opts.ArtifactBytes = size
+	}
+	return engine.ColdStart(opts)
+}
+
+// Baseline returns (and caches) a vanilla vLLM cold start of a model;
+// several experiments read its timeline and graphs.
+func (c *Context) Baseline(cfg model.Config) (*engine.Instance, error) {
+	c.mu.Lock()
+	inst, ok := c.baselines[cfg.Name]
+	c.mu.Unlock()
+	if ok {
+		return inst, nil
+	}
+	inst, err := c.ColdStart(cfg, engine.StrategyVLLM, false)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.baselines[cfg.Name] = inst
+	c.mu.Unlock()
+	return inst, nil
+}
+
+// Runner is one registered experiment.
+type Runner func(c *Context) (*Report, error)
+
+var registry = map[string]Runner{}
+var registryOrder []string
+
+func register(id string, fn Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = fn
+	registryOrder = append(registryOrder, id)
+}
+
+// IDs lists registered experiment ids in registration order.
+func IDs() []string { return append([]string(nil), registryOrder...) }
+
+// Run executes one experiment by id.
+func Run(c *Context, id string) (*Report, error) {
+	fn, ok := registry[id]
+	if !ok {
+		known := IDs()
+		sort.Strings(known)
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, known)
+	}
+	return fn(c)
+}

@@ -1,0 +1,116 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§7) against the simulated substrate: the same
+// workloads, the same strategy comparisons, the same reported rows and
+// series. Absolute numbers come from the calibrated cost model; the
+// shapes — who wins, by what factor, where crossovers fall — are the
+// reproduction targets (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Report is a rendered experiment result: a titled table plus free-form
+// notes (the paper-quoted claims with our measured values).
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+	// Charts are pre-rendered text figures (internal/plot) appended
+	// after the table.
+	Charts []string
+	// Metrics carries headline numbers in machine-readable form for
+	// the benchmark harness (e.g. "loading_reduction_pct").
+	Metrics map[string]float64
+}
+
+// AddChart appends a rendered chart.
+func (r *Report) AddChart(chart string) { r.Charts = append(r.Charts, chart) }
+
+// SetMetric records a headline metric.
+func (r *Report) SetMetric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = v
+}
+
+// AddRow appends a table row.
+func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// AddNote appends a formatted note line.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render produces the aligned text form.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	for _, c := range r.Charts {
+		b.WriteByte('\n')
+		b.WriteString(c)
+	}
+	return b.String()
+}
+
+// RenderCSV produces a machine-readable form (RFC 4180) for plotting
+// pipelines: a header row followed by the data rows. Notes and metrics
+// are emitted as trailing comment lines.
+func (r *Report) RenderCSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write(r.Header)
+	for _, row := range r.Rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+// secs formats a duration as seconds with millisecond precision.
+func secs(d time.Duration) string { return fmt.Sprintf("%.3f", d.Seconds()) }
+
+// pct formats a 0..1 fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }

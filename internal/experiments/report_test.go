@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReportRenderAlignment(t *testing.T) {
+	r := &Report{
+		ID:     "x",
+		Title:  "alignment",
+		Header: []string{"a", "long-header"},
+	}
+	r.AddRow("value-longer-than-header", "v")
+	r.AddRow("s", "w")
+	out := r.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, separator, two rows.
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: the second field starts at the same offset on the
+	// header and the data rows.
+	idx1 := strings.Index(lines[1], "long-header")
+	idx4 := strings.Index(lines[4], "w")
+	if idx1 < 0 || idx1 != idx4 {
+		t.Fatalf("misaligned columns (%d vs %d):\n%s", idx1, idx4, out)
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	r := &Report{
+		ID:     "x",
+		Title:  "csv",
+		Header: []string{"model", "value"},
+	}
+	r.AddRow("a,with,commas", "1")
+	r.AddRow("plain", "2")
+	r.AddNote("a note with %d datum", 1)
+	out := r.RenderCSV()
+	if !strings.HasPrefix(out, "model,value\n") {
+		t.Fatalf("CSV header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "\"a,with,commas\",1") {
+		t.Fatalf("CSV quoting broken:\n%s", out)
+	}
+	if !strings.Contains(out, "# a note with 1 datum") {
+		t.Fatalf("CSV notes missing:\n%s", out)
+	}
+}
+
+func TestReportMetrics(t *testing.T) {
+	r := &Report{ID: "x"}
+	r.SetMetric("speedup", 2.4)
+	r.SetMetric("nodes", 139364)
+	if r.Metrics["speedup"] != 2.4 || r.Metrics["nodes"] != 139364 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if secs(1500*time.Millisecond) != "1.500" {
+		t.Fatalf("secs = %q", secs(1500*time.Millisecond))
+	}
+	if pct(0.425) != "42.5%" {
+		t.Fatalf("pct = %q", pct(0.425))
+	}
+}

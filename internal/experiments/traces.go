@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/metrics"
+	"github.com/medusa-repro/medusa/internal/model"
+	"github.com/medusa-repro/medusa/internal/plot"
+	"github.com/medusa-repro/medusa/internal/serverless"
+	"github.com/medusa-repro/medusa/internal/workload"
+)
+
+func init() {
+	register("fig10", runFigure10)
+	register("fig11", runFigure11)
+}
+
+// traceStrategies is the four-way comparison of §7.5.
+var traceStrategies = []engine.Strategy{
+	engine.StrategyVLLM, engine.StrategyVLLMAsync, engine.StrategyNoGraph, engine.StrategyMedusa,
+}
+
+// simConfig builds a cluster config for a model and strategy.
+func (c *Context) simConfig(cfg model.Config, strategy engine.Strategy) (serverless.Config, error) {
+	sc := serverless.Config{
+		Model:    cfg,
+		Strategy: strategy,
+		Store:    c.Store,
+		NumGPUs:  4,
+		Seed:     c.NextSeed(),
+	}
+	if strategy == engine.StrategyMedusa {
+		art, size, _, err := c.Artifact(cfg)
+		if err != nil {
+			return sc, err
+		}
+		sc.Artifact = art
+		sc.ArtifactBytes = size
+	}
+	return sc, nil
+}
+
+// runFigure10 reproduces Figure 10: p99 TTFT under ShareGPT traces at
+// RPS 2 and 10 for Llama2-7B and Qwen1.5-4B, scaling from zero (cold
+// starts on the request path).
+func runFigure10(c *Context) (*Report, error) {
+	r := &Report{
+		ID:     "fig10",
+		Title:  "p99 TTFT under real-world traces (ShareGPT, Poisson arrivals, scale from zero)",
+		Header: []string{"model", "RPS", "strategy", "p99 TTFT (s)", "p50 TTFT (s)", "cold starts", "vs vLLM"},
+	}
+	fig10Chart := &plot.Bar{Title: "p99 TTFT", Unit: "s",
+		Series: []string{"vLLM", "vLLM+ASYNC", "w/o CUDA GRAPH", "MEDUSA"}}
+	for _, name := range []string{"Llama2-7B", "Qwen1.5-4B"} {
+		cfg, err := model.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, rps := range []float64{2, 10} {
+			reqs, err := workload.Generate(workload.TraceConfig{
+				Seed: 90125, RPS: rps, Duration: 60 * time.Second,
+			})
+			if err != nil {
+				return nil, err
+			}
+			var vllmP99 time.Duration
+			group := plot.BarGroup{Label: fmt.Sprintf("%s @ %.0f RPS", name, rps)}
+			for _, s := range traceStrategies {
+				sc, err := c.simConfig(cfg, s)
+				if err != nil {
+					return nil, err
+				}
+				res, err := serverless.Run(sc, reqs)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s rps=%v: %w", name, s, rps, err)
+				}
+				p99 := res.TTFT.P99()
+				if s == engine.StrategyVLLM {
+					vllmP99 = p99
+				}
+				cut := ""
+				if s != engine.StrategyVLLM {
+					cut = pct(metrics.Reduction(vllmP99, p99))
+				}
+				r.AddRow(name, fmt.Sprintf("%.0f", rps), s.String(),
+					secs(p99), secs(res.TTFT.P50()), fmt.Sprintf("%d", res.ColdStarts), cut)
+				group.Values = append(group.Values, p99.Seconds())
+			}
+			fig10Chart.Groups = append(fig10Chart.Groups, group)
+		}
+	}
+	r.AddChart(fig10Chart.Render(60))
+	r.AddNote("paper: MEDUSA reduces p99 TTFT by 50.5%% (Llama2-7B) and 53.0%% (Qwen1.5-4B) vs vLLM")
+	return r, nil
+}
+
+// figure11Rates sweeps offered load; capacities differ from the paper's
+// testbed, so the sweep covers our simulated cluster's range while
+// preserving the shape (flat tail at low rate, cold-start bumps at
+// scale-out, queueing blow-up past saturation).
+var figure11Rates = []float64{2, 6, 12, 20, 28, 36, 48, 60, 72}
+
+// runFigure11 reproduces Figure 11: p99 TTFT versus achieved system
+// throughput as offered load increases, with one pre-warmed instance.
+func runFigure11(c *Context) (*Report, error) {
+	r := &Report{
+		ID:     "fig11",
+		Title:  "p99 TTFT vs overall throughput (1 instance pre-warmed, 4 GPUs)",
+		Header: []string{"model", "strategy", "offered RPS", "throughput (req/s)", "p99 TTFT (s)", "instances"},
+	}
+	for _, name := range []string{"Llama2-7B", "Qwen1.5-4B"} {
+		cfg, err := model.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		chart := &plot.Line{Title: name + ": p99 TTFT vs achieved throughput",
+			XLabel: "req/s", YLabel: "p99 TTFT (s)", LogY: true}
+		for _, s := range traceStrategies {
+			series := plot.LineSeries{Name: s.String()}
+			for _, rps := range figure11Rates {
+				reqs, err := workload.Generate(workload.TraceConfig{
+					Seed: 777, RPS: rps, Duration: 45 * time.Second,
+				})
+				if err != nil {
+					return nil, err
+				}
+				sc, err := c.simConfig(cfg, s)
+				if err != nil {
+					return nil, err
+				}
+				sc.Prewarm = 1
+				res, err := serverless.Run(sc, reqs)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s rps=%v: %w", name, s, rps, err)
+				}
+				r.AddRow(name, s.String(), fmt.Sprintf("%.0f", rps),
+					fmt.Sprintf("%.2f", res.Throughput), secs(res.TTFT.P99()),
+					fmt.Sprintf("%d", res.PeakInstances))
+				series.X = append(series.X, res.Throughput)
+				series.Y = append(series.Y, res.TTFT.P99().Seconds())
+			}
+			chart.Series = append(chart.Series, series)
+		}
+		r.AddChart(chart.Render(64, 14))
+	}
+	r.AddNote("paper: at ≈4.5 QPS on Llama2-7B, MEDUSA's p99 TTFT is 43.0/29.9/27.0%% lower than vLLM / ASYNC / w-o-graph")
+	r.AddNote("absolute saturation points differ (our simulated A100s serve faster than the testbed); the series shapes and strategy ordering are the reproduction target")
+	return r, nil
+}

@@ -1,0 +1,576 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/medusa-repro/medusa/internal/cuda"
+	"github.com/medusa-repro/medusa/internal/gpu"
+)
+
+// assumedContextTokens is the context length the cost model assumes
+// for paged attention's KV reads. Capture-time forwardings run with
+// dummy length-1 sequences, and at serving time decode cost is
+// dominated by weight traffic, so a modest fixed context keeps both
+// regimes calibrated.
+const assumedContextTokens = 32
+
+// opsModule returns the module name for exported kernels; they are
+// grouped into a handful of modules like a real precompiled fatbin.
+func opsModule(group string) string { return "ops_mod_" + group }
+
+func registerExported(rt *cuda.Runtime) {
+	p, u32, u64 := cuda.Ptr, cuda.U32, cuda.U64
+
+	rt.MustRegister(cuda.KernelImpl{
+		Name: EmbedLookup, Library: LibOps, Module: opsModule("embed"), Exported: true,
+		Params: []cuda.ParamKind{p, p, p, u32, u32},
+		Traffic: func(a []cuda.Value) uint64 {
+			return uint64(a[3].U32()) * uint64(a[4].U32()) * 4
+		},
+		Func: kEmbedLookup,
+	})
+	rt.MustRegister(cuda.KernelImpl{
+		Name: RMSNorm, Library: LibOps, Module: opsModule("norm"), Exported: true,
+		Params: []cuda.ParamKind{p, p, p, u32, u32},
+		Traffic: func(a []cuda.Value) uint64 {
+			return uint64(a[3].U32()) * uint64(a[4].U32()) * 3 * 2
+		},
+		Func: kRMSNorm,
+	})
+	rt.MustRegister(cuda.KernelImpl{
+		Name: RopeCache, Library: LibOps, Module: opsModule("attn"), Exported: true,
+		Params: []cuda.ParamKind{p, p, p, p, p, u32, u32, u32},
+		Traffic: func(a []cuda.Value) uint64 {
+			return uint64(a[5].U32()) * uint64(a[6].U32()) * 6 * 2
+		},
+		Func: kRopeCache,
+	})
+	rt.MustRegister(cuda.KernelImpl{
+		Name: PagedAttn, Library: LibOps, Module: opsModule("attn"), Exported: true,
+		Params: []cuda.ParamKind{p, p, p, p, p, u32, u32, u32},
+		Traffic: func(a []cuda.Value) uint64 {
+			// Reads K and V for the assumed context length per sequence.
+			return uint64(a[5].U32()) * assumedContextTokens * uint64(a[6].U32()) * 2 * 2
+		},
+		Func: kPagedAttn,
+	})
+	rt.MustRegister(cuda.KernelImpl{
+		Name: ResidualAdd, Library: LibOps, Module: opsModule("elem"), Exported: true,
+		Params:  []cuda.ParamKind{p, p, p, u32},
+		Traffic: func(a []cuda.Value) uint64 { return uint64(a[3].U32()) * 3 * 2 },
+		Func:    kResidualAdd,
+	})
+	rt.MustRegister(cuda.KernelImpl{
+		Name: SiluMul, Library: LibOps, Module: opsModule("elem"), Exported: true,
+		Params: []cuda.ParamKind{p, p, u32, u32},
+		Traffic: func(a []cuda.Value) uint64 {
+			return uint64(a[2].U32()) * uint64(a[3].U32()) * 3 * 2
+		},
+		Func: kSiluMul,
+	})
+	rt.MustRegister(cuda.KernelImpl{
+		Name: BiasAdd, Library: LibOps, Module: opsModule("elem"), Exported: true,
+		Params: []cuda.ParamKind{p, p, u32, u32},
+		Traffic: func(a []cuda.Value) uint64 {
+			return uint64(a[2].U32()) * uint64(a[3].U32()) * 2 * 2
+		},
+		Func: kBiasAdd,
+	})
+	rt.MustRegister(cuda.KernelImpl{
+		Name: LMHeadGemm, Library: LibOps, Module: opsModule("head"), Exported: true,
+		Params: []cuda.ParamKind{p, p, p, u32, u32, u32},
+		Traffic: func(a []cuda.Value) uint64 {
+			m, v, k := uint64(a[3].U32()), uint64(a[4].U32()), uint64(a[5].U32())
+			return (m*k + v*k + m*v) * 2
+		},
+		Flops: func(a []cuda.Value) float64 {
+			return 2 * float64(a[3].U32()) * float64(a[4].U32()) * float64(a[5].U32())
+		},
+		Func: kLMHeadGemm,
+	})
+	rt.MustRegister(cuda.KernelImpl{
+		Name: SampleArgmax, Library: LibOps, Module: opsModule("sample"), Exported: true,
+		Params: []cuda.ParamKind{p, p, u32, u32, u64},
+		Traffic: func(a []cuda.Value) uint64 {
+			return uint64(a[2].U32()) * uint64(a[3].U32()) * 4
+		},
+		Func: kSampleArgmax,
+	})
+	rt.MustRegister(cuda.KernelImpl{
+		Name: ElemCopy, Library: LibOps, Module: opsModule("elem"), Exported: true,
+		Params:  []cuda.ParamKind{p, p, u32},
+		Traffic: func(a []cuda.Value) uint64 { return uint64(a[2].U32()) * 2 * 2 },
+		Func:    kElemCopy,
+	})
+	rt.MustRegister(cuda.KernelImpl{
+		Name: PadBatch, Library: LibOps, Module: opsModule("elem"), Exported: true,
+		Params: []cuda.ParamKind{p, u32},
+		Func:   kPadBatch,
+	})
+	rt.MustRegister(cuda.KernelImpl{
+		Name: PrefillGemm, Library: LibOps, Module: opsModule("prefill"), Exported: true,
+		Params: []cuda.ParamKind{p, p, p, u32, u32, u32},
+		Traffic: func(a []cuda.Value) uint64 {
+			m, n, k := uint64(a[3].U32()), uint64(a[4].U32()), uint64(a[5].U32())
+			return (m*k + k*n + m*n) * 2
+		},
+		Flops: func(a []cuda.Value) float64 {
+			return 2 * float64(a[3].U32()) * float64(a[4].U32()) * float64(a[5].U32())
+		},
+		Func: kPrefillGemm,
+	})
+}
+
+func kPrefillGemm(d *gpu.Device, a []cuda.Value) error {
+	dst, dOff, err := fetch(d, a[0])
+	if err != nil {
+		return err
+	}
+	src, sOff, err := fetch(d, a[1])
+	if err != nil {
+		return err
+	}
+	w, wOff, err := fetch(d, a[2])
+	if err != nil {
+		return err
+	}
+	m, n, k := int(a[3].U32()), int(a[4].U32()), int(a[5].U32())
+	for i := 0; i < m; i++ {
+		x, err := src.Float32s(sOff+i*k, k)
+		if err != nil {
+			return err
+		}
+		out := make([]float32, n)
+		for j := 0; j < n; j++ {
+			var dot float64
+			for l := 0; l < k; l++ {
+				wv, err := w.Float32(wOff + l*n + j)
+				if err != nil {
+					return err
+				}
+				dot += float64(x[l]) * float64(wv)
+			}
+			out[j] = float32(dot)
+		}
+		if err := dst.SetFloat32s(dOff+i*n, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func kEmbedLookup(d *gpu.Device, a []cuda.Value) error {
+	dst, dOff, err := fetch(d, a[0])
+	if err != nil {
+		return err
+	}
+	table, tOff, err := fetch(d, a[1])
+	if err != nil {
+		return err
+	}
+	ids, iOff, err := fetch(d, a[2])
+	if err != nil {
+		return err
+	}
+	batch, hidden := int(a[3].U32()), int(a[4].U32())
+	for b := 0; b < batch; b++ {
+		id, err := ids.Uint32(iOff + b)
+		if err != nil {
+			return err
+		}
+		row, err := table.Float32s(tOff+int(id)*hidden, hidden)
+		if err != nil {
+			return err
+		}
+		if err := dst.SetFloat32s(dOff+b*hidden, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func kRMSNorm(d *gpu.Device, a []cuda.Value) error {
+	dst, dOff, err := fetch(d, a[0])
+	if err != nil {
+		return err
+	}
+	src, sOff, err := fetch(d, a[1])
+	if err != nil {
+		return err
+	}
+	w, wOff, err := fetch(d, a[2])
+	if err != nil {
+		return err
+	}
+	rows, hidden := int(a[3].U32()), int(a[4].U32())
+	wv, err := w.Float32s(wOff, hidden)
+	if err != nil {
+		return err
+	}
+	for r := 0; r < rows; r++ {
+		x, err := src.Float32s(sOff+r*hidden, hidden)
+		if err != nil {
+			return err
+		}
+		var ss float64
+		for _, v := range x {
+			ss += float64(v) * float64(v)
+		}
+		inv := 1 / float32(math.Sqrt(ss/float64(hidden)+1e-6))
+		out := make([]float32, hidden)
+		for i := range out {
+			out[i] = x[i] * inv * wv[i]
+		}
+		if err := dst.SetFloat32s(dOff+r*hidden, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// kvSlot locates the cache element offset for (seq, pos) through the
+// block table: the paged layout of vLLM.
+func kvSlot(bt *gpu.Buffer, btOff, seq, pos, maxBlocks, hidden int) (int, error) {
+	blockIdx, err := bt.Uint32(btOff + seq*maxBlocks + pos/KVBlockTokens)
+	if err != nil {
+		return 0, err
+	}
+	return (int(blockIdx)*KVBlockTokens + pos%KVBlockTokens) * hidden, nil
+}
+
+func kRopeCache(d *gpu.Device, a []cuda.Value) error {
+	qkv, qOff, err := fetch(d, a[0])
+	if err != nil {
+		return err
+	}
+	kc, kcOff, err := fetch(d, a[1])
+	if err != nil {
+		return err
+	}
+	vc, vcOff, err := fetch(d, a[2])
+	if err != nil {
+		return err
+	}
+	bt, btOff, err := fetch(d, a[3])
+	if err != nil {
+		return err
+	}
+	sl, slOff, err := fetch(d, a[4])
+	if err != nil {
+		return err
+	}
+	batch, hidden, maxBlocks := int(a[5].U32()), int(a[6].U32()), int(a[7].U32())
+	for b := 0; b < batch; b++ {
+		seqlen, err := sl.Uint32(slOff + b)
+		if err != nil {
+			return err
+		}
+		pos := int(seqlen) - 1
+		if pos < 0 {
+			return fmt.Errorf("rope: sequence %d has length 0", b)
+		}
+		row, err := qkv.Float32s(qOff+b*3*hidden, 3*hidden)
+		if err != nil {
+			return err
+		}
+		// Rotate q and k pairwise by a position-dependent angle.
+		for part := 0; part < 2; part++ {
+			vec := row[part*hidden : (part+1)*hidden]
+			for i := 0; i+1 < hidden; i += 2 {
+				theta := float64(pos) / math.Pow(10000, float64(i)/float64(hidden))
+				sin, cos := math.Sin(theta), math.Cos(theta)
+				x, y := float64(vec[i]), float64(vec[i+1])
+				vec[i] = float32(x*cos - y*sin)
+				vec[i+1] = float32(x*sin + y*cos)
+			}
+		}
+		if err := qkv.SetFloat32s(qOff+b*3*hidden, row); err != nil {
+			return err
+		}
+		slot, err := kvSlot(bt, btOff, b, pos, maxBlocks, hidden)
+		if err != nil {
+			return err
+		}
+		if err := kc.SetFloat32s(kcOff+slot, row[hidden:2*hidden]); err != nil {
+			return err
+		}
+		if err := vc.SetFloat32s(vcOff+slot, row[2*hidden:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func kPagedAttn(d *gpu.Device, a []cuda.Value) error {
+	out, oOff, err := fetch(d, a[0])
+	if err != nil {
+		return err
+	}
+	qkv, qOff, err := fetch(d, a[1])
+	if err != nil {
+		return err
+	}
+	kc, kcOff, err := fetch(d, a[2])
+	if err != nil {
+		return err
+	}
+	vc, vcOff, err := fetch(d, a[3])
+	if err != nil {
+		return err
+	}
+	bt, btOff, err := fetch(d, a[4])
+	if err != nil {
+		return err
+	}
+	// seqlens ride in the same buffer layout as rope; the engine passes
+	// the same buffer for both kernels, reusing parameter 4 of rope.
+	batch, hidden, maxBlocks := int(a[5].U32()), int(a[6].U32()), int(a[7].U32())
+	// The seqlens pointer is folded into the block-table buffer region:
+	// engine allocates [blocktable | seqlens]; attention derives seqlen
+	// offset as batch*maxBlocks.
+	for b := 0; b < batch; b++ {
+		seqlen32, err := bt.Uint32(btOff + batch*maxBlocks + b)
+		if err != nil {
+			return err
+		}
+		seqlen := int(seqlen32)
+		q, err := qkv.Float32s(qOff+b*3*hidden, hidden)
+		if err != nil {
+			return err
+		}
+		scores := make([]float64, seqlen)
+		maxScore := math.Inf(-1)
+		scale := 1 / math.Sqrt(float64(hidden))
+		for t := 0; t < seqlen; t++ {
+			slot, err := kvSlot(bt, btOff, b, t, maxBlocks, hidden)
+			if err != nil {
+				return err
+			}
+			kv, err := kc.Float32s(kcOff+slot, hidden)
+			if err != nil {
+				return err
+			}
+			var dot float64
+			for i := 0; i < hidden; i++ {
+				dot += float64(q[i]) * float64(kv[i])
+			}
+			scores[t] = dot * scale
+			if scores[t] > maxScore {
+				maxScore = scores[t]
+			}
+		}
+		var denom float64
+		for t := range scores {
+			scores[t] = math.Exp(scores[t] - maxScore)
+			denom += scores[t]
+		}
+		acc := make([]float64, hidden)
+		for t := 0; t < seqlen; t++ {
+			slot, err := kvSlot(bt, btOff, b, t, maxBlocks, hidden)
+			if err != nil {
+				return err
+			}
+			vv, err := vc.Float32s(vcOff+slot, hidden)
+			if err != nil {
+				return err
+			}
+			w := scores[t] / denom
+			for i := 0; i < hidden; i++ {
+				acc[i] += w * float64(vv[i])
+			}
+		}
+		row := make([]float32, hidden)
+		for i := range row {
+			row[i] = float32(acc[i])
+		}
+		if err := out.SetFloat32s(oOff+b*hidden, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func kResidualAdd(d *gpu.Device, a []cuda.Value) error {
+	dst, dOff, err := fetch(d, a[0])
+	if err != nil {
+		return err
+	}
+	x, xOff, err := fetch(d, a[1])
+	if err != nil {
+		return err
+	}
+	y, yOff, err := fetch(d, a[2])
+	if err != nil {
+		return err
+	}
+	n := int(a[3].U32())
+	xv, err := x.Float32s(xOff, n)
+	if err != nil {
+		return err
+	}
+	yv, err := y.Float32s(yOff, n)
+	if err != nil {
+		return err
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = xv[i] + yv[i]
+	}
+	return dst.SetFloat32s(dOff, out)
+}
+
+func kSiluMul(d *gpu.Device, a []cuda.Value) error {
+	dst, dOff, err := fetch(d, a[0])
+	if err != nil {
+		return err
+	}
+	gu, gOff, err := fetch(d, a[1])
+	if err != nil {
+		return err
+	}
+	rows, hidden := int(a[2].U32()), int(a[3].U32())
+	for r := 0; r < rows; r++ {
+		row, err := gu.Float32s(gOff+r*2*hidden, 2*hidden)
+		if err != nil {
+			return err
+		}
+		out := make([]float32, hidden)
+		for i := 0; i < hidden; i++ {
+			g := float64(row[i])
+			out[i] = float32(g / (1 + math.Exp(-g)) * float64(row[hidden+i]))
+		}
+		if err := dst.SetFloat32s(dOff+r*hidden, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func kBiasAdd(d *gpu.Device, a []cuda.Value) error {
+	dst, dOff, err := fetch(d, a[0])
+	if err != nil {
+		return err
+	}
+	bias, bOff, err := fetch(d, a[1])
+	if err != nil {
+		return err
+	}
+	rows, hidden := int(a[2].U32()), int(a[3].U32())
+	bv, err := bias.Float32s(bOff, hidden)
+	if err != nil {
+		return err
+	}
+	for r := 0; r < rows; r++ {
+		row, err := dst.Float32s(dOff+r*hidden, hidden)
+		if err != nil {
+			return err
+		}
+		for i := range row {
+			row[i] += bv[i]
+		}
+		if err := dst.SetFloat32s(dOff+r*hidden, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func kLMHeadGemm(d *gpu.Device, a []cuda.Value) error {
+	dst, dOff, err := fetch(d, a[0])
+	if err != nil {
+		return err
+	}
+	src, sOff, err := fetch(d, a[1])
+	if err != nil {
+		return err
+	}
+	w, wOff, err := fetch(d, a[2])
+	if err != nil {
+		return err
+	}
+	rows, vocab, hidden := int(a[3].U32()), int(a[4].U32()), int(a[5].U32())
+	for r := 0; r < rows; r++ {
+		x, err := src.Float32s(sOff+r*hidden, hidden)
+		if err != nil {
+			return err
+		}
+		out := make([]float32, vocab)
+		for v := 0; v < vocab; v++ {
+			wr, err := w.Float32s(wOff+v*hidden, hidden)
+			if err != nil {
+				return err
+			}
+			var dot float64
+			for i := 0; i < hidden; i++ {
+				dot += float64(x[i]) * float64(wr[i])
+			}
+			out[v] = float32(dot)
+		}
+		if err := dst.SetFloat32s(dOff+r*vocab, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func kSampleArgmax(d *gpu.Device, a []cuda.Value) error {
+	dst, dOff, err := fetch(d, a[0])
+	if err != nil {
+		return err
+	}
+	logits, lOff, err := fetch(d, a[1])
+	if err != nil {
+		return err
+	}
+	batch, vocab := int(a[2].U32()), int(a[3].U32())
+	seed := a[4].U64()
+	for b := 0; b < batch; b++ {
+		row, err := logits.Float32s(lOff+b*vocab, vocab)
+		if err != nil {
+			return err
+		}
+		best := 0
+		for v := 1; v < vocab; v++ {
+			if row[v] > row[best] {
+				best = v
+			}
+		}
+		if err := dst.SetUint32(dOff+b*2, uint32(best)); err != nil {
+			return err
+		}
+		// The mix word depends on the sampling seed scalar, so a restore
+		// that corrupts the seed parameter produces observably different
+		// output — the signal validation forwarding relies on (§4).
+		mix := uint32(seed) ^ uint32(seed>>32) ^ uint32(best)
+		if err := dst.SetUint32(dOff+b*2+1, mix); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func kElemCopy(d *gpu.Device, a []cuda.Value) error {
+	dst, dOff, err := fetch(d, a[0])
+	if err != nil {
+		return err
+	}
+	src, sOff, err := fetch(d, a[1])
+	if err != nil {
+		return err
+	}
+	n := int(a[2].U32())
+	v, err := src.Float32s(sOff, n)
+	if err != nil {
+		return err
+	}
+	return dst.SetFloat32s(dOff, v)
+}
+
+func kPadBatch(d *gpu.Device, a []cuda.Value) error {
+	dst, dOff, err := fetch(d, a[0])
+	if err != nil {
+		return err
+	}
+	return dst.SetUint32(dOff, a[1].U32())
+}

@@ -1,0 +1,125 @@
+// Package kvcache implements vLLM-style paged KV cache management: the
+// cache is one contiguous device reservation carved into fixed-size
+// blocks, sequences hold per-sequence block tables, and blocks recycle
+// through a free list. Sizing the reservation requires knowing the
+// residual free GPU memory after a worst-case forwarding — the quantity
+// the paper's §6 materializes to skip profiling at cold start.
+package kvcache
+
+import (
+	"fmt"
+)
+
+// TokensPerBlock is the paged-attention block size (vLLM default 16).
+const TokensPerBlock = 16
+
+// BlockBytes returns the device size of one block: TokensPerBlock
+// token slots of `hidden` elements for both K and V.
+func BlockBytes(hidden, elemBytes int) uint64 {
+	return uint64(TokensPerBlock) * uint64(hidden) * uint64(elemBytes) * 2
+}
+
+// NumBlocksFor returns how many blocks fit in freeBytes.
+func NumBlocksFor(freeBytes, blockBytes uint64) int {
+	if blockBytes == 0 {
+		return 0
+	}
+	return int(freeBytes / blockBytes)
+}
+
+// BlocksForTokens returns the number of blocks needed to hold n tokens.
+func BlocksForTokens(n int) int {
+	return (n + TokensPerBlock - 1) / TokensPerBlock
+}
+
+// OutOfBlocksError reports block exhaustion.
+type OutOfBlocksError struct {
+	Seq    uint64
+	Needed int
+	Free   int
+}
+
+func (e *OutOfBlocksError) Error() string {
+	return fmt.Sprintf("kvcache: sequence %d needs %d blocks, %d free", e.Seq, e.Needed, e.Free)
+}
+
+// Manager tracks block ownership. It is not safe for concurrent use;
+// the engine serializes access like vLLM's scheduler does.
+type Manager struct {
+	numBlocks int
+	free      []int
+	tables    map[uint64][]int
+	seqLens   map[uint64]int
+}
+
+// NewManager creates a manager over numBlocks blocks.
+func NewManager(numBlocks int) *Manager {
+	free := make([]int, numBlocks)
+	for i := range free {
+		free[i] = numBlocks - 1 - i // pop order 0,1,2,…
+	}
+	return &Manager{
+		numBlocks: numBlocks,
+		free:      free,
+		tables:    make(map[uint64][]int),
+		seqLens:   make(map[uint64]int),
+	}
+}
+
+// NumBlocks returns the total block count.
+func (m *Manager) NumBlocks() int { return m.numBlocks }
+
+// NumFreeBlocks returns the free block count.
+func (m *Manager) NumFreeBlocks() int { return len(m.free) }
+
+// SeqLen returns the cached token count of a sequence.
+func (m *Manager) SeqLen(seq uint64) int { return m.seqLens[seq] }
+
+// Sequences returns the number of live sequences.
+func (m *Manager) Sequences() int { return len(m.tables) }
+
+// BlockTable returns the sequence's block table (shared slice; callers
+// must not mutate).
+func (m *Manager) BlockTable(seq uint64) []int { return m.tables[seq] }
+
+// blocksNeeded computes additional blocks to extend seq by n tokens.
+func (m *Manager) blocksNeeded(seq uint64, n int) int {
+	cur := m.seqLens[seq]
+	return BlocksForTokens(cur+n) - len(m.tables[seq])
+}
+
+// CanAppend reports whether n more tokens fit without exhausting the
+// pool.
+func (m *Manager) CanAppend(seq uint64, n int) bool {
+	return m.blocksNeeded(seq, n) <= len(m.free)
+}
+
+// Append extends a sequence by n tokens, allocating blocks as needed.
+// On exhaustion it returns OutOfBlocksError and changes nothing.
+func (m *Manager) Append(seq uint64, n int) error {
+	if n < 0 {
+		return fmt.Errorf("kvcache: negative append %d", n)
+	}
+	need := m.blocksNeeded(seq, n)
+	if need > len(m.free) {
+		return &OutOfBlocksError{Seq: seq, Needed: need, Free: len(m.free)}
+	}
+	for i := 0; i < need; i++ {
+		b := m.free[len(m.free)-1]
+		m.free = m.free[:len(m.free)-1]
+		m.tables[seq] = append(m.tables[seq], b)
+	}
+	m.seqLens[seq] += n
+	return nil
+}
+
+// Release frees all blocks of a sequence.
+func (m *Manager) Release(seq uint64) {
+	blocks := m.tables[seq]
+	delete(m.tables, seq)
+	delete(m.seqLens, seq)
+	m.free = append(m.free, blocks...)
+}
+
+// UsedBlocks returns allocated block count.
+func (m *Manager) UsedBlocks() int { return m.numBlocks - len(m.free) }

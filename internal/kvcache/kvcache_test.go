@@ -1,0 +1,154 @@
+package kvcache
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestSizingHelpers(t *testing.T) {
+	if BlockBytes(4096, 2) != 16*4096*2*2 {
+		t.Fatalf("BlockBytes = %d", BlockBytes(4096, 2))
+	}
+	if NumBlocksFor(10<<30, BlockBytes(4096, 2)) != int((10<<30)/(16*4096*2*2)) {
+		t.Fatal("NumBlocksFor wrong")
+	}
+	if NumBlocksFor(100, 0) != 0 {
+		t.Fatal("NumBlocksFor zero block size")
+	}
+	cases := map[int]int{0: 0, 1: 1, 16: 1, 17: 2, 32: 2, 33: 3}
+	for n, want := range cases {
+		if got := BlocksForTokens(n); got != want {
+			t.Errorf("BlocksForTokens(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestAppendAllocatesLazily(t *testing.T) {
+	m := NewManager(4)
+	if err := m.Append(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if m.UsedBlocks() != 1 || m.SeqLen(1) != 10 {
+		t.Fatalf("after 10 tokens: used=%d len=%d", m.UsedBlocks(), m.SeqLen(1))
+	}
+	if err := m.Append(1, 6); err != nil { // fills block 0 exactly
+		t.Fatal(err)
+	}
+	if m.UsedBlocks() != 1 {
+		t.Fatalf("16 tokens should still use 1 block, used=%d", m.UsedBlocks())
+	}
+	if err := m.Append(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.UsedBlocks() != 2 {
+		t.Fatalf("17th token should open block 2, used=%d", m.UsedBlocks())
+	}
+	if bt := m.BlockTable(1); len(bt) != 2 || bt[0] == bt[1] {
+		t.Fatalf("block table = %v", bt)
+	}
+}
+
+func TestExhaustionAtomic(t *testing.T) {
+	m := NewManager(2)
+	if err := m.Append(1, 32); err != nil { // exactly 2 blocks
+		t.Fatal(err)
+	}
+	if m.CanAppend(2, 1) {
+		t.Fatal("CanAppend with empty pool")
+	}
+	err := m.Append(2, 1)
+	var oob *OutOfBlocksError
+	if !errors.As(err, &oob) {
+		t.Fatalf("Append on empty pool = %v", err)
+	}
+	if m.SeqLen(2) != 0 || len(m.BlockTable(2)) != 0 {
+		t.Fatal("failed Append mutated state")
+	}
+	// A multi-block request that cannot be fully served must not
+	// partially allocate.
+	m2 := NewManager(2)
+	if err := m2.Append(7, 100); err == nil {
+		t.Fatal("oversized Append succeeded")
+	}
+	if m2.NumFreeBlocks() != 2 {
+		t.Fatal("failed multi-block Append leaked blocks")
+	}
+}
+
+func TestReleaseRecyclesBlocks(t *testing.T) {
+	m := NewManager(3)
+	m.Append(1, 40) // 3 blocks
+	if m.NumFreeBlocks() != 0 {
+		t.Fatal("pool should be empty")
+	}
+	m.Release(1)
+	if m.NumFreeBlocks() != 3 || m.Sequences() != 0 {
+		t.Fatalf("after release: free=%d seqs=%d", m.NumFreeBlocks(), m.Sequences())
+	}
+	if err := m.Append(2, 48); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseUnknownSeqIsNoop(t *testing.T) {
+	m := NewManager(2)
+	m.Release(99)
+	if m.NumFreeBlocks() != 2 {
+		t.Fatal("Release of unknown sequence changed pool")
+	}
+}
+
+func TestNegativeAppendRejected(t *testing.T) {
+	m := NewManager(2)
+	if err := m.Append(1, -1); err == nil {
+		t.Fatal("negative append succeeded")
+	}
+}
+
+// Property: under any interleaving of appends and releases, block
+// accounting is exact and no block is owned by two sequences.
+func TestBlockAccountingProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const blocks = 32
+		m := NewManager(blocks)
+		for _, op := range ops {
+			seq := uint64(op % 5)
+			if op%7 == 0 {
+				m.Release(seq)
+			} else {
+				n := int(op%20) + 1
+				if m.CanAppend(seq, n) {
+					if m.Append(seq, n) != nil {
+						return false
+					}
+				} else if m.Append(seq, n) == nil {
+					return false // CanAppend said no but Append worked
+				}
+			}
+			// Invariants.
+			owned := map[int]uint64{}
+			total := 0
+			for s := uint64(0); s < 5; s++ {
+				bt := m.BlockTable(s)
+				if len(bt) != BlocksForTokens(m.SeqLen(s)) {
+					return false
+				}
+				for _, b := range bt {
+					if prev, dup := owned[b]; dup && prev != s {
+						return false
+					}
+					owned[b] = s
+				}
+				total += len(bt)
+			}
+			if total+m.NumFreeBlocks() != blocks {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

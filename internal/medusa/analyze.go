@@ -1,0 +1,231 @@
+package medusa
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/medusa-repro/medusa/internal/cuda"
+	"github.com/medusa-repro/medusa/internal/dl"
+)
+
+// Pointer-looking 8-byte scalars carry a high canonical address prefix.
+// The range below covers the device heap and stays below the library
+// text segments; false positives inside it are possible (which is why
+// validation exists) but rare, matching the paper's observation.
+const (
+	ptrPrefixLo = uint64(0x7f00_0000_0000)
+	ptrPrefixHi = uint64(0x8000_0000_0000)
+)
+
+// looksLikePointer applies the §4 heuristic: 8 bytes wide and a high
+// address prefix.
+func looksLikePointer(raw []byte) (uint64, bool) {
+	if len(raw) != 8 {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint64(raw)
+	return v, v >= ptrPrefixLo && v < ptrPrefixHi
+}
+
+// AnalyzeOptions tunes the analysis stage.
+type AnalyzeOptions struct {
+	// ModelName stamps the artifact.
+	ModelName string
+	// NaiveFirstMatch replaces the trace-based backward matching with a
+	// forward first-match over the allocation sequence — the strawman of
+	// §4.1/Figure 6 that produces false positives under address reuse.
+	// Exists for the ablation benchmark only.
+	NaiveFirstMatch bool
+	// SkipContents omits permanent buffer contents (forced for
+	// cost-only devices, where there is no data plane).
+	SkipContents bool
+}
+
+// Analyze synthesizes the recorder's observations into an Artifact: the
+// paper's offline analysis stage.
+func Analyze(rec *Recorder, proc *cuda.Process, opts AnalyzeOptions) (*Artifact, error) {
+	if err := rec.check(); err != nil {
+		return nil, err
+	}
+	art := &Artifact{
+		FormatVersion: CurrentFormatVersion,
+		ModelName:     opts.ModelName,
+		PrefixLen:     rec.captureStageBegin,
+		Kernels:       make(map[string]KernelLoc),
+		KV:            rec.kv,
+	}
+
+	// Materialize the (de)allocation sequence up to the capture stage
+	// end. Later events (post-capture serving activity, if any) are not
+	// part of the cold start being materialized.
+	allocCount := 0
+	for _, ev := range rec.events[:rec.captureStageEnd] {
+		art.AllocSeq = append(art.AllocSeq, AllocRecord{
+			Free:       ev.free,
+			AllocIndex: ev.allocIndex,
+			Size:       ev.size,
+			Label:      ev.label,
+		})
+		if !ev.free {
+			allocCount++
+		}
+	}
+	art.AllocCount = allocCount
+
+	// Materialize each captured graph.
+	referenced := make(map[int]bool) // alloc indices referenced by pointers
+	for _, cg := range rec.graphs {
+		gr := GraphRecord{Batch: cg.batch}
+		for ni, node := range cg.graph.Nodes() {
+			l := cg.launches[ni]
+			nr := NodeRecord{Deps: append([]int(nil), node.Deps...)}
+
+			k, ok := proc.KernelByAddr(node.KernelAddr)
+			if !ok {
+				return nil, fmt.Errorf("medusa: graph %d node %d: no kernel at %#x", cg.batch, ni, node.KernelAddr)
+			}
+			nr.KernelName = k.Name()
+			if _, seen := art.Kernels[nr.KernelName]; !seen {
+				loc, err := locateKernel(proc.Runtime().DL(), nr.KernelName)
+				if err != nil {
+					return nil, err
+				}
+				art.Kernels[nr.KernelName] = loc
+			}
+
+			for pi, raw := range node.Params {
+				pr := ParamRecord{Raw: append([]byte(nil), raw...)}
+				if p, isPtr := looksLikePointer(raw); isPtr {
+					var idx int
+					var off uint64
+					var found bool
+					if opts.NaiveFirstMatch {
+						idx, off, found = rec.firstMatch(p)
+					} else {
+						idx, off, found = rec.backwardMatch(l.eventPos, p)
+					}
+					if found {
+						pr.Pointer = true
+						pr.AllocIndex = idx
+						pr.Offset = off
+						referenced[idx] = true
+					}
+					// A high-prefix scalar matching no allocation stays
+					// a constant: its value is not an address Medusa
+					// manages. Validation forwarding covers the case
+					// where this speculation is wrong.
+				}
+				_ = pi
+				nr.Params = append(nr.Params, pr)
+			}
+			gr.Nodes = append(gr.Nodes, nr)
+		}
+		art.Graphs = append(art.Graphs, gr)
+	}
+
+	// Buffer content classification (§4.3). Only capture-stage
+	// allocations that are still live at capture end and referenced by
+	// some graph need their contents saved.
+	if err := classifyPermanent(rec, proc, art, referenced, opts.SkipContents); err != nil {
+		return nil, err
+	}
+
+	if err := art.validate(); err != nil {
+		return nil, fmt.Errorf("medusa: analysis produced inconsistent artifact: %w", err)
+	}
+	return art, nil
+}
+
+// locateKernel records how the online phase can find a kernel: its
+// library, and whether dlsym will resolve it there. This inspects the
+// on-disk symbol tables (available offline), never process state.
+func locateKernel(reg *dl.Registry, name string) (KernelLoc, error) {
+	lib, sym, ok := reg.FindSymbol(name)
+	if !ok {
+		return KernelLoc{}, fmt.Errorf("medusa: kernel %q not found in any installed library", name)
+	}
+	return KernelLoc{Library: lib.Name, Exported: sym.Exported}, nil
+}
+
+// backwardMatch implements the paper's trace-based indirect index
+// pointer analysis: starting from the launch's position in the event
+// stream, walk backwards and return the first allocation whose range
+// contains p. Because kernels only use buffers that are live at launch,
+// the nearest preceding allocation is the right one even when freed
+// buffers were reallocated at the same address (Figure 6).
+func (r *Recorder) backwardMatch(eventPos int, p uint64) (allocIndex int, offset uint64, ok bool) {
+	for i := eventPos - 1; i >= 0; i-- {
+		ev := r.events[i]
+		if ev.free {
+			continue
+		}
+		if p >= ev.addr && p < ev.addr+ev.size {
+			return ev.allocIndex, p - ev.addr, true
+		}
+	}
+	return 0, 0, false
+}
+
+// firstMatch is the naive strawman: scan the allocation sequence from
+// the beginning and take the first range containing p, ignoring launch
+// position. Under address reuse this picks the wrong (earlier, freed)
+// allocation.
+func (r *Recorder) firstMatch(p uint64) (allocIndex int, offset uint64, ok bool) {
+	for _, ev := range r.events {
+		if ev.free {
+			continue
+		}
+		if p >= ev.addr && p < ev.addr+ev.size {
+			return ev.allocIndex, p - ev.addr, true
+		}
+	}
+	return 0, 0, false
+}
+
+// classifyPermanent implements §4.3: among capture-stage allocations,
+// those freed before the stage ends are temporaries (replayed but
+// content-free); those still live and referenced by a graph are
+// permanent and have their contents saved.
+func classifyPermanent(rec *Recorder, proc *cuda.Process, art *Artifact, referenced map[int]bool, skipContents bool) error {
+	type allocState struct {
+		addr  uint64
+		size  uint64
+		pos   int // event position of the allocation
+		freed bool
+	}
+	states := make(map[int]*allocState)
+	for pos, ev := range rec.events[:rec.captureStageEnd] {
+		if ev.free {
+			if st := states[ev.allocIndex]; st != nil {
+				st.freed = true
+			}
+			continue
+		}
+		states[ev.allocIndex] = &allocState{addr: ev.addr, size: ev.size, pos: pos}
+	}
+	for idx, st := range states {
+		if st.pos < rec.captureStageBegin || st.freed || !referenced[idx] {
+			continue
+		}
+		pr := PermRecord{AllocIndex: idx, Size: st.size}
+		if !skipContents {
+			buf, ok := proc.Device().Buffer(st.addr)
+			if !ok {
+				return fmt.Errorf("medusa: permanent allocation %d at %#x vanished", idx, st.addr)
+			}
+			contents, err := buf.Snapshot()
+			if err != nil {
+				return fmt.Errorf("medusa: snapshot permanent allocation %d: %w", idx, err)
+			}
+			pr.Contents = contents
+		}
+		art.Permanent = append(art.Permanent, pr)
+	}
+	// Deterministic artifact: order by allocation index.
+	for i := 1; i < len(art.Permanent); i++ {
+		for j := i; j > 0 && art.Permanent[j-1].AllocIndex > art.Permanent[j].AllocIndex; j-- {
+			art.Permanent[j-1], art.Permanent[j] = art.Permanent[j], art.Permanent[j-1]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package medusa
+
+import (
+	"testing"
+
+	"github.com/medusa-repro/medusa/internal/cuda"
+	"github.com/medusa-repro/medusa/internal/gpu"
+	"github.com/medusa-repro/medusa/internal/vclock"
+)
+
+// offlineBenchFixture builds a recorder + graphs without test assertions.
+func offlineBenchFixture(b *testing.B, nodes int) (*cuda.Process, *Recorder) {
+	b.Helper()
+	rt := toyRuntime()
+	p := cuda.NewProcess(rt, vclock.New(), cuda.Config{Seed: 1, Mode: gpu.CostOnly})
+	rec := NewRecorder()
+	p.SetHooks(rec.Hooks())
+	s := p.NewStream()
+	src, err := p.Malloc(1 << 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := p.Malloc(1 << 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec.MarkCaptureStageBegin()
+	args := []cuda.Value{cuda.PtrValue(dst), cuda.PtrValue(src), cuda.F32Value(2), cuda.U32Value(64)}
+	if err := p.Launch(s, "toy_scale", args); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.BeginCapture(); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < nodes; i++ {
+		if err := p.Launch(s, "toy_scale", args); err != nil {
+			b.Fatal(err)
+		}
+	}
+	g, err := s.EndCapture()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rec.AttachGraph(1, g); err != nil {
+		b.Fatal(err)
+	}
+	rec.MarkCaptureStageEnd()
+	rec.RecordKV(KVRecord{NumBlocks: 1, BlockBytes: 1})
+	return p, rec
+}
+
+func BenchmarkAnalyze1kNodes(b *testing.B) {
+	p, rec := offlineBenchFixture(b, 1000)
+	opts := AnalyzeOptions{ModelName: "bench", SkipContents: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(rec, p, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncode1kNodes(b *testing.B) {
+	p, rec := offlineBenchFixture(b, 1000)
+	art, err := Analyze(rec, p, AnalyzeOptions{ModelName: "bench", SkipContents: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := art.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(raw)))
+	}
+}
+
+func BenchmarkDecode1kNodes(b *testing.B) {
+	p, rec := offlineBenchFixture(b, 1000)
+	art, err := Analyze(rec, p, AnalyzeOptions{ModelName: "bench", SkipContents: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw, err := art.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBackwardMatch(b *testing.B) {
+	// A deep event history with the match near the end: the common case
+	// (kernels use recently allocated buffers).
+	rec := NewRecorder()
+	hooks := rec.Hooks()
+	for i := 0; i < 4096; i++ {
+		hooks.OnAlloc(cuda.AllocEvent{AllocIndex: i, Size: 4096, Addr: 0x7f30_0000_0000 + uint64(i)*8192})
+	}
+	target := uint64(0x7f30_0000_0000 + 4000*8192 + 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := rec.backwardMatch(len(rec.events), target); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkRestore1kNodes(b *testing.B) {
+	rt := toyRuntime()
+	p, rec := offlineBenchFixture(b, 1000)
+	art, err := Analyze(rec, p, AnalyzeOptions{ModelName: "bench", SkipContents: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fresh := cuda.NewProcess(rt, vclock.New(), cuda.Config{Seed: int64(i + 2), Mode: gpu.CostOnly})
+		rest, err := NewRestorer(fresh, art)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rest.ReplayPrefix(); err != nil {
+			b.Fatal(err)
+		}
+		if err := rest.ReplayCaptureStage(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rest.RestoreGraphs(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1000, "nodes/restore")
+}

@@ -1,0 +1,157 @@
+package medusa
+
+import (
+	"errors"
+	"testing"
+)
+
+// artifactWithGroups builds a synthetic artifact with two pointer
+// groups for correction-logic tests.
+func artifactWithGroups() *Artifact {
+	mkPtr := func() ParamRecord {
+		return ParamRecord{Raw: []byte{0, 0, 0, 0, 0, 0x40, 0x7f, 0}, Pointer: true, AllocIndex: 0}
+	}
+	return &Artifact{
+		FormatVersion: CurrentFormatVersion,
+		ModelName:     "synthetic",
+		AllocCount:    1,
+		AllocSeq:      []AllocRecord{{AllocIndex: 0, Size: 4096}},
+		PrefixLen:     1,
+		Graphs: []GraphRecord{
+			{Batch: 1, Nodes: []NodeRecord{
+				{KernelName: "alpha", Params: []ParamRecord{mkPtr(), {Raw: []byte{1, 0, 0, 0}}}},
+				{KernelName: "beta", Params: []ParamRecord{mkPtr()}, Deps: []int{0}},
+			}},
+			{Batch: 2, Nodes: []NodeRecord{
+				{KernelName: "alpha", Params: []ParamRecord{mkPtr(), {Raw: []byte{2, 0, 0, 0}}}},
+			}},
+		},
+		Kernels: map[string]KernelLoc{
+			"alpha": {Library: "a.so", Exported: true},
+			"beta":  {Library: "b.so", Exported: false},
+		},
+		KV: KVRecord{NumBlocks: 1, BlockBytes: 1},
+	}
+}
+
+func TestPointerGroupsDeterministic(t *testing.T) {
+	a := artifactWithGroups()
+	g1 := a.PointerGroups()
+	g2 := a.PointerGroups()
+	if len(g1) != 2 {
+		t.Fatalf("groups = %v", g1)
+	}
+	if g1[0].KernelName != "alpha" || g1[1].KernelName != "beta" {
+		t.Fatalf("group order = %v", g1)
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatal("PointerGroups not deterministic")
+		}
+	}
+}
+
+func TestSetGroupPointerAffectsAllGraphs(t *testing.T) {
+	a := artifactWithGroups()
+	changed := a.setGroupPointer(ParamGroup{KernelName: "alpha", ParamIndex: 0}, false)
+	if changed != 2 {
+		t.Fatalf("changed = %d, want both alpha nodes across graphs", changed)
+	}
+	if a.Stats().Pointers != 1 {
+		t.Fatalf("pointers after demotion = %d", a.Stats().Pointers)
+	}
+	// Re-promote.
+	if a.setGroupPointer(ParamGroup{KernelName: "alpha", ParamIndex: 0}, true) != 2 {
+		t.Fatal("revert changed wrong count")
+	}
+	// 4-byte params are never flipped.
+	if a.setGroupPointer(ParamGroup{KernelName: "alpha", ParamIndex: 1}, true) != 0 {
+		t.Fatal("flipped a 4-byte constant to pointer")
+	}
+}
+
+func TestValidateAndCorrectNoProgress(t *testing.T) {
+	a := artifactWithGroups()
+	calls := 0
+	validate := func(*Artifact) ([]int, error) {
+		calls++
+		return []int{1, 2}, nil // every batch always mismatches
+	}
+	_, err := a.ValidateAndCorrect(validate)
+	if err == nil {
+		t.Fatal("uncorrectable artifact validated")
+	}
+	// All groups tried once plus the initial round.
+	if calls != 1+len(a.PointerGroups()) {
+		t.Fatalf("validate calls = %d", calls)
+	}
+	// Failed corrections must be reverted.
+	if a.Stats().Pointers != 3 {
+		t.Fatalf("pointers after failed correction = %d, want 3", a.Stats().Pointers)
+	}
+}
+
+func TestValidateAndCorrectPartialProgress(t *testing.T) {
+	a := artifactWithGroups()
+	// Batch 1 is fixed by demoting beta's param; batch 2 never fixes.
+	validate := func(art *Artifact) ([]int, error) {
+		var mismatched []int
+		betaPtr := false
+		for _, g := range art.Graphs {
+			for _, n := range g.Nodes {
+				if n.KernelName == "beta" && n.Params[0].Pointer {
+					betaPtr = true
+				}
+			}
+		}
+		if betaPtr {
+			mismatched = append(mismatched, 1)
+		}
+		mismatched = append(mismatched, 2)
+		return mismatched, nil
+	}
+	res, err := a.ValidateAndCorrect(validate)
+	if err == nil {
+		t.Fatal("partially correctable artifact fully validated")
+	}
+	// The productive demotion (beta) must be kept.
+	kept := false
+	for _, pg := range res.Demoted {
+		if pg.KernelName == "beta" {
+			kept = true
+		}
+	}
+	if !kept {
+		t.Fatalf("productive demotion not kept: %+v", res)
+	}
+}
+
+func TestValidateAndCorrectValidationError(t *testing.T) {
+	a := artifactWithGroups()
+	boom := errors.New("boom")
+	_, err := a.ValidateAndCorrect(func(*Artifact) ([]int, error) { return nil, boom })
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestArtifactValidateRejectsMalformed(t *testing.T) {
+	cases := map[string]func(*Artifact){
+		"bad prefix":        func(a *Artifact) { a.PrefixLen = 99 },
+		"bad alloc index":   func(a *Artifact) { a.Graphs[0].Nodes[0].Params[0].AllocIndex = 5 },
+		"dangling dep":      func(a *Artifact) { a.Graphs[0].Nodes[1].Deps = []int{7} },
+		"unknown kernel":    func(a *Artifact) { a.Graphs[0].Nodes[0].KernelName = "ghost" },
+		"bad param width":   func(a *Artifact) { a.Graphs[0].Nodes[0].Params[0].Raw = []byte{1, 2} },
+		"free out of range": func(a *Artifact) { a.AllocSeq = append(a.AllocSeq, AllocRecord{Free: true, AllocIndex: 9}) },
+		"perm size lie": func(a *Artifact) {
+			a.Permanent = []PermRecord{{AllocIndex: 0, Size: 8, Contents: []byte{1}}}
+		},
+	}
+	for name, corrupt := range cases {
+		a := artifactWithGroups()
+		corrupt(a)
+		if _, err := a.Encode(); err == nil {
+			t.Errorf("%s: Encode accepted malformed artifact", name)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package medusa
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hardens the artifact parser: arbitrary bytes must never
+// panic, and anything that decodes successfully must re-encode to a
+// byte-identical artifact (canonical form).
+func FuzzDecode(f *testing.F) {
+	// Seed with a small hand-built artifact and corruptions of it.
+	art := &Artifact{
+		FormatVersion: CurrentFormatVersion,
+		ModelName:     "fuzz",
+		AllocCount:    1,
+		AllocSeq:      []AllocRecord{{AllocIndex: 0, Size: 64, Label: "weights"}},
+		PrefixLen:     1,
+		Graphs: []GraphRecord{{Batch: 1, Nodes: []NodeRecord{{
+			KernelName: "k",
+			Params: []ParamRecord{
+				{Raw: []byte{1, 2, 3, 4, 5, 6, 7, 8}, Pointer: true, AllocIndex: 0, Offset: 8},
+				{Raw: []byte{9, 9, 9, 9}},
+			},
+		}}}},
+		Kernels:   map[string]KernelLoc{"k": {Library: "lib.so", Exported: true}},
+		Permanent: []PermRecord{{AllocIndex: 0, Size: 4, Contents: []byte{1, 2, 3, 4}}},
+		KV:        KVRecord{FreeMemBytes: 1 << 20, NumBlocks: 2, BlockBytes: 4},
+	}
+	raw, err := art.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add(raw[:16])
+	f.Add([]byte("MDSA"))
+	f.Add([]byte{})
+	trunc := append([]byte(nil), raw[:len(raw)/2]...)
+	f.Add(trunc)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := Decode(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		re, err := a.Encode()
+		if err != nil {
+			t.Fatalf("decoded artifact fails to re-encode: %v", err)
+		}
+		again, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded artifact fails to decode: %v", err)
+		}
+		re2, err := again.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatal("encode → decode → encode is not a fixed point")
+		}
+	})
+}

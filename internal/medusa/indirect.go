@@ -1,0 +1,120 @@
+package medusa
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/medusa-repro/medusa/internal/cuda"
+)
+
+// §8 of the paper scopes Medusa to host-side allocations and direct
+// pointers, noting that indirect pointers — device buffers whose
+// *contents* are pointers to other buffers — would escape the indirect
+// index pointer table and silently survive restoration with stale
+// addresses. The paper reports finding none across 139364 nodes but
+// keeps validation as the safety net. This scanner makes the check
+// explicit: it inspects the contents of every buffer a graph references
+// and flags 8-byte-aligned words that decode to addresses inside other
+// live allocations.
+
+// IndirectPointerWarning flags a suspected pointer stored inside a
+// referenced buffer.
+type IndirectPointerWarning struct {
+	// AllocIndex is the buffer holding the suspicious word.
+	AllocIndex int
+	// Offset is the word's byte offset within the buffer.
+	Offset uint64
+	// Value is the suspicious word.
+	Value uint64
+	// TargetIndex is the live allocation the value points into.
+	TargetIndex int
+}
+
+func (w IndirectPointerWarning) String() string {
+	return fmt.Sprintf("allocation %d offset %d holds %#x, which points into allocation %d",
+		w.AllocIndex, w.Offset, w.Value, w.TargetIndex)
+}
+
+// ScanIndirectPointers inspects the contents of every allocation that a
+// captured graph references through a pointer parameter, looking for
+// stored device addresses. It requires a functional device (contents
+// exist only there) and should run at the end of the offline capturing
+// stage, before the process state is torn down.
+func ScanIndirectPointers(rec *Recorder, proc *cuda.Process, art *Artifact) ([]IndirectPointerWarning, error) {
+	if err := rec.check(); err != nil {
+		return nil, err
+	}
+	// Live allocations at capture end, by address range.
+	type span struct {
+		index int
+		addr  uint64
+		size  uint64
+	}
+	var live []span
+	freed := make(map[int]bool)
+	addrOf := make(map[int]span)
+	for _, ev := range rec.events[:rec.captureStageEnd] {
+		if ev.free {
+			freed[ev.allocIndex] = true
+			continue
+		}
+		freed[ev.allocIndex] = false
+		addrOf[ev.allocIndex] = span{index: ev.allocIndex, addr: ev.addr, size: ev.size}
+	}
+	for idx, sp := range addrOf {
+		if !freed[idx] {
+			live = append(live, sp)
+		}
+	}
+	locate := func(v uint64) (int, bool) {
+		for _, sp := range live {
+			if v >= sp.addr && v < sp.addr+sp.size {
+				return sp.index, true
+			}
+		}
+		return 0, false
+	}
+
+	// Buffers referenced by any graph pointer parameter.
+	referenced := make(map[int]bool)
+	for _, g := range art.Graphs {
+		for _, n := range g.Nodes {
+			for _, p := range n.Params {
+				if p.Pointer {
+					referenced[p.AllocIndex] = true
+				}
+			}
+		}
+	}
+
+	var warnings []IndirectPointerWarning
+	for idx := range referenced {
+		if freed[idx] {
+			continue
+		}
+		sp := addrOf[idx]
+		buf, ok := proc.Device().Buffer(sp.addr)
+		if !ok {
+			continue
+		}
+		contents, err := buf.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("medusa: indirect scan of allocation %d: %w", idx, err)
+		}
+		for off := 0; off+8 <= len(contents); off += 8 {
+			v := binary.LittleEndian.Uint64(contents[off:])
+			if v < ptrPrefixLo || v >= ptrPrefixHi {
+				continue
+			}
+			if target, hit := locate(v); hit {
+				warnings = append(warnings, IndirectPointerWarning{
+					AllocIndex:  idx,
+					Offset:      uint64(off),
+					Value:       v,
+					TargetIndex: target,
+				})
+			}
+		}
+	}
+	return warnings, nil
+}

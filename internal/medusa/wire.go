@@ -1,0 +1,299 @@
+package medusa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// Artifact wire format:
+//
+//	"MDSA" | u32 version | u32 bodyLen | u32 crc32(body) | body
+//
+// The body is a flat little-endian encoding of the artifact. A CRC
+// guards against torn or corrupted artifact files: restoring from a
+// damaged artifact must fail loudly, never silently build wrong graphs.
+var wireMagic = [4]byte{'M', 'D', 'S', 'A'}
+
+type wireWriter struct {
+	buf bytes.Buffer
+}
+
+func (w *wireWriter) u8(v uint8)   { w.buf.WriteByte(v) }
+func (w *wireWriter) u32(v uint32) { _ = binary.Write(&w.buf, binary.LittleEndian, v) }
+func (w *wireWriter) u64(v uint64) { _ = binary.Write(&w.buf, binary.LittleEndian, v) }
+func (w *wireWriter) boolean(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *wireWriter) bytes(p []byte) {
+	w.u32(uint32(len(p)))
+	w.buf.Write(p)
+}
+func (w *wireWriter) str(s string) { w.bytes([]byte(s)) }
+
+type wireReader struct {
+	p   []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("medusa: artifact decode: "+format, args...)
+	}
+}
+
+func (r *wireReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.p) {
+		r.fail("truncated at offset %d (need %d bytes)", r.off, n)
+		return nil
+	}
+	out := r.p[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *wireReader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *wireReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *wireReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *wireReader) boolean() bool { return r.u8() != 0 }
+
+func (r *wireReader) blob(what string, limit uint32) []byte {
+	n := r.u32()
+	if n > limit {
+		r.fail("%s of %d bytes exceeds limit %d", what, n, limit)
+		return nil
+	}
+	b := r.take(int(n))
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+func (r *wireReader) str(what string) string { return string(r.blob(what, 1<<20)) }
+
+// Encode serializes the artifact.
+func (a *Artifact) Encode() ([]byte, error) {
+	if err := a.validate(); err != nil {
+		return nil, fmt.Errorf("medusa: refusing to encode inconsistent artifact: %w", err)
+	}
+	var w wireWriter
+	w.str(a.ModelName)
+	w.u32(uint32(a.AllocCount))
+	w.u32(uint32(a.PrefixLen))
+
+	w.u32(uint32(len(a.AllocSeq)))
+	for _, ev := range a.AllocSeq {
+		w.boolean(ev.Free)
+		w.u32(uint32(ev.AllocIndex))
+		w.u64(ev.Size)
+		w.str(ev.Label)
+	}
+
+	w.u32(uint32(len(a.Graphs)))
+	for _, g := range a.Graphs {
+		w.u32(uint32(g.Batch))
+		w.u32(uint32(len(g.Nodes)))
+		for _, n := range g.Nodes {
+			w.str(n.KernelName)
+			w.u32(uint32(len(n.Deps)))
+			for _, d := range n.Deps {
+				w.u32(uint32(d))
+			}
+			w.u32(uint32(len(n.Params)))
+			for _, p := range n.Params {
+				w.bytes(p.Raw)
+				w.boolean(p.Pointer)
+				w.u32(uint32(p.AllocIndex))
+				w.u64(p.Offset)
+			}
+		}
+	}
+
+	names := make([]string, 0, len(a.Kernels))
+	for name := range a.Kernels {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic encoding
+	w.u32(uint32(len(names)))
+	for _, name := range names {
+		loc := a.Kernels[name]
+		w.str(name)
+		w.str(loc.Library)
+		w.boolean(loc.Exported)
+	}
+
+	w.u32(uint32(len(a.Permanent)))
+	for _, pr := range a.Permanent {
+		w.u32(uint32(pr.AllocIndex))
+		w.u64(pr.Size)
+		w.boolean(pr.Contents != nil)
+		if pr.Contents != nil {
+			w.bytes(pr.Contents)
+		}
+	}
+
+	w.u64(a.KV.FreeMemBytes)
+	w.u32(uint32(a.KV.NumBlocks))
+	w.u64(a.KV.BlockBytes)
+
+	body := w.buf.Bytes()
+	out := make([]byte, 0, len(body)+16)
+	out = append(out, wireMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, a.FormatVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
+	out = append(out, body...)
+	return out, nil
+}
+
+// Decode parses an artifact, verifying magic, version, and checksum.
+func Decode(p []byte) (*Artifact, error) {
+	if len(p) < 16 {
+		return nil, fmt.Errorf("medusa: artifact of %d bytes is shorter than its header", len(p))
+	}
+	if !bytes.Equal(p[:4], wireMagic[:]) {
+		return nil, fmt.Errorf("medusa: bad artifact magic %q", p[:4])
+	}
+	version := binary.LittleEndian.Uint32(p[4:8])
+	if version != CurrentFormatVersion {
+		return nil, fmt.Errorf("medusa: artifact format v%d not supported (want v%d)", version, CurrentFormatVersion)
+	}
+	bodyLen := binary.LittleEndian.Uint32(p[8:12])
+	wantCRC := binary.LittleEndian.Uint32(p[12:16])
+	if uint64(len(p)-16) != uint64(bodyLen) {
+		return nil, fmt.Errorf("medusa: artifact body is %d bytes, header says %d", len(p)-16, bodyLen)
+	}
+	body := p[16:]
+	if got := crc32.ChecksumIEEE(body); got != wantCRC {
+		return nil, fmt.Errorf("medusa: artifact checksum mismatch: %#x != %#x (corrupted?)", got, wantCRC)
+	}
+
+	r := &wireReader{p: body}
+	a := &Artifact{FormatVersion: version, Kernels: make(map[string]KernelLoc)}
+	a.ModelName = r.str("model name")
+	a.AllocCount = int(r.u32())
+	a.PrefixLen = int(r.u32())
+
+	nEvents := r.u32()
+	if nEvents > 1<<24 {
+		r.fail("%d allocation events", nEvents)
+	}
+	for i := uint32(0); i < nEvents && r.err == nil; i++ {
+		var ev AllocRecord
+		ev.Free = r.boolean()
+		ev.AllocIndex = int(r.u32())
+		ev.Size = r.u64()
+		ev.Label = r.str("alloc label")
+		a.AllocSeq = append(a.AllocSeq, ev)
+	}
+
+	nGraphs := r.u32()
+	if nGraphs > 1<<16 {
+		r.fail("%d graphs", nGraphs)
+	}
+	for gi := uint32(0); gi < nGraphs && r.err == nil; gi++ {
+		var g GraphRecord
+		g.Batch = int(r.u32())
+		nNodes := r.u32()
+		if nNodes > 1<<22 {
+			r.fail("graph with %d nodes", nNodes)
+		}
+		for ni := uint32(0); ni < nNodes && r.err == nil; ni++ {
+			var n NodeRecord
+			n.KernelName = r.str("kernel name")
+			nDeps := r.u32()
+			if nDeps > nNodes {
+				r.fail("node with %d deps", nDeps)
+			}
+			for di := uint32(0); di < nDeps && r.err == nil; di++ {
+				n.Deps = append(n.Deps, int(r.u32()))
+			}
+			nParams := r.u32()
+			if nParams > 1<<12 {
+				r.fail("node with %d params", nParams)
+			}
+			for pi := uint32(0); pi < nParams && r.err == nil; pi++ {
+				var p ParamRecord
+				p.Raw = r.blob("param image", 8)
+				p.Pointer = r.boolean()
+				p.AllocIndex = int(r.u32())
+				p.Offset = r.u64()
+				n.Params = append(n.Params, p)
+			}
+			g.Nodes = append(g.Nodes, n)
+		}
+		a.Graphs = append(a.Graphs, g)
+	}
+
+	nKernels := r.u32()
+	if nKernels > 1<<20 {
+		r.fail("%d kernel entries", nKernels)
+	}
+	for i := uint32(0); i < nKernels && r.err == nil; i++ {
+		name := r.str("kernel name")
+		lib := r.str("library name")
+		exported := r.boolean()
+		a.Kernels[name] = KernelLoc{Library: lib, Exported: exported}
+	}
+
+	nPerm := r.u32()
+	if nPerm > 1<<22 {
+		r.fail("%d permanent records", nPerm)
+	}
+	for i := uint32(0); i < nPerm && r.err == nil; i++ {
+		var pr PermRecord
+		pr.AllocIndex = int(r.u32())
+		pr.Size = r.u64()
+		if r.boolean() {
+			pr.Contents = r.blob("permanent contents", 1<<26)
+		}
+		a.Permanent = append(a.Permanent, pr)
+	}
+
+	a.KV.FreeMemBytes = r.u64()
+	a.KV.NumBlocks = int(r.u32())
+	a.KV.BlockBytes = r.u64()
+
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("medusa: %d trailing bytes after artifact body", len(body)-r.off)
+	}
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

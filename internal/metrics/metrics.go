@@ -1,0 +1,141 @@
+// Package metrics provides the latency statistics the evaluation
+// reports: percentiles (the paper's headline metric is p99 TTFT),
+// means, and simple throughput accounting.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample is a latency observation series.
+type Sample struct {
+	vals []time.Duration
+}
+
+// Add appends an observation.
+func (s *Sample) Add(d time.Duration) { s.vals = append(s.vals, d) }
+
+// Len reports the observation count.
+func (s *Sample) Len() int { return len(s.vals) }
+
+// Percentile returns the p-th percentile (0 < p ≤ 100) using the
+// nearest-rank method on a sorted copy. It panics on an empty sample or
+// an out-of-range p: asking for a percentile of nothing is a caller bug.
+func (s *Sample) Percentile(p float64) time.Duration {
+	if len(s.vals) == 0 {
+		panic("metrics: percentile of empty sample")
+	}
+	if p <= 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v out of (0,100]", p))
+	}
+	sorted := append([]time.Duration(nil), s.vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	return sorted[rank-1]
+}
+
+// P99 is the tail latency the paper reports.
+func (s *Sample) P99() time.Duration { return s.Percentile(99) }
+
+// P50 is the median.
+func (s *Sample) P50() time.Duration { return s.Percentile(50) }
+
+// Mean returns the arithmetic mean.
+func (s *Sample) Mean() time.Duration {
+	if len(s.vals) == 0 {
+		panic("metrics: mean of empty sample")
+	}
+	var sum time.Duration
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / time.Duration(len(s.vals))
+}
+
+// Max returns the largest observation.
+func (s *Sample) Max() time.Duration {
+	if len(s.vals) == 0 {
+		panic("metrics: max of empty sample")
+	}
+	max := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// FractionBelow reports the share of observations at or under the
+// threshold — SLO attainment (e.g. "TTFT under one second").
+func (s *Sample) FractionBelow(d time.Duration) float64 {
+	if len(s.vals) == 0 {
+		panic("metrics: FractionBelow of empty sample")
+	}
+	n := 0
+	for _, v := range s.vals {
+		if v <= d {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.vals))
+}
+
+// Histogram renders a compact text histogram with the given bucket
+// width — a quick look at a latency distribution's shape.
+func (s *Sample) Histogram(bucket time.Duration, maxWidth int) string {
+	if bucket <= 0 || len(s.vals) == 0 {
+		return ""
+	}
+	if maxWidth < 1 {
+		maxWidth = 40
+	}
+	counts := map[int]int{}
+	maxBucket, maxCount := 0, 0
+	for _, v := range s.vals {
+		b := int(v / bucket)
+		counts[b]++
+		if b > maxBucket {
+			maxBucket = b
+		}
+		if counts[b] > maxCount {
+			maxCount = counts[b]
+		}
+	}
+	var out []string
+	for b := 0; b <= maxBucket; b++ {
+		n := counts[b]
+		w := 0
+		if maxCount > 0 {
+			w = n * maxWidth / maxCount
+		}
+		if w == 0 && n > 0 {
+			w = 1
+		}
+		out = append(out, fmt.Sprintf("%8v–%-8v %s %d",
+			time.Duration(b)*bucket, time.Duration(b+1)*bucket,
+			strings.Repeat("█", w), n))
+	}
+	return strings.Join(out, "\n") + "\n"
+}
+
+// Throughput reports completed ops per second over a span.
+func Throughput(completed int, span time.Duration) float64 {
+	if span <= 0 {
+		return 0
+	}
+	return float64(completed) / span.Seconds()
+}
+
+// Reduction returns the fractional reduction of `new` versus `base`
+// (0.53 ⇒ 53% lower), the form the paper quotes improvements in.
+func Reduction(base, new time.Duration) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 1 - float64(new)/float64(base)
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleOf(vals ...time.Duration) *Sample {
+	var s Sample
+	for _, v := range vals {
+		s.Add(v)
+	}
+	return &s
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	s := sampleOf(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{{10, 1}, {50, 5}, {90, 9}, {99, 10}, {100, 10}}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileSingleton(t *testing.T) {
+	s := sampleOf(7 * time.Millisecond)
+	if s.P99() != 7*time.Millisecond || s.P50() != 7*time.Millisecond {
+		t.Fatal("singleton percentiles wrong")
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty percentile did not panic")
+		}
+	}()
+	(&Sample{}).P99()
+}
+
+func TestPercentileRangePanics(t *testing.T) {
+	s := sampleOf(1)
+	for _, p := range []float64{0, -1, 101} {
+		func() {
+			defer func() { recover() }()
+			s.Percentile(p)
+			t.Errorf("Percentile(%v) did not panic", p)
+		}()
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	s := sampleOf(2*time.Second, 4*time.Second)
+	if s.Mean() != 3*time.Second {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Max() != 4*time.Second {
+		t.Fatalf("Max = %v", s.Max())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(90, 30*time.Second); got != 3 {
+		t.Fatalf("Throughput = %v", got)
+	}
+	if Throughput(10, 0) != 0 {
+		t.Fatal("Throughput over zero span")
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(2*time.Second, time.Second); got != 0.5 {
+		t.Fatalf("Reduction = %v", got)
+	}
+	if Reduction(0, time.Second) != 0 {
+		t.Fatal("Reduction with zero base")
+	}
+}
+
+// Property: nearest-rank percentile matches a reference implementation
+// on random samples, and is monotone in p.
+func TestPercentileProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var s Sample
+		vals := make([]time.Duration, n)
+		for i := range vals {
+			vals[i] = time.Duration(rng.Intn(1000)) * time.Millisecond
+			s.Add(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		prev := time.Duration(-1)
+		for _, p := range []float64{1, 25, 50, 75, 90, 99, 100} {
+			rank := int(float64(len(vals))*p/100 + 0.9999999)
+			if rank < 1 {
+				rank = 1
+			}
+			want := vals[rank-1]
+			got := s.Percentile(p)
+			if got != want {
+				return false
+			}
+			if got < prev {
+				return false // monotonicity
+			}
+			prev = got
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	s := sampleOf(100*time.Millisecond, 200*time.Millisecond, 900*time.Millisecond, 3*time.Second)
+	if got := s.FractionBelow(time.Second); got != 0.75 {
+		t.Fatalf("FractionBelow(1s) = %v, want 0.75", got)
+	}
+	if got := s.FractionBelow(50 * time.Millisecond); got != 0 {
+		t.Fatalf("FractionBelow(50ms) = %v, want 0", got)
+	}
+	if got := s.FractionBelow(time.Minute); got != 1 {
+		t.Fatalf("FractionBelow(1m) = %v, want 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty FractionBelow did not panic")
+		}
+	}()
+	(&Sample{}).FractionBelow(time.Second)
+}
+
+func TestHistogram(t *testing.T) {
+	s := sampleOf(10*time.Millisecond, 15*time.Millisecond, 35*time.Millisecond)
+	out := s.Histogram(10*time.Millisecond, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // buckets 0-10, 10-20, 20-30, 30-40
+		t.Fatalf("histogram lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "2") || !strings.Contains(lines[3], "1") {
+		t.Fatalf("histogram counts wrong:\n%s", out)
+	}
+	// Empty bucket draws nothing but still lists.
+	if strings.ContainsRune(lines[2], '█') {
+		t.Fatalf("empty bucket drew bars:\n%s", out)
+	}
+	if (&Sample{}).Histogram(time.Second, 10) != "" {
+		t.Fatal("empty histogram not empty")
+	}
+	if s.Histogram(0, 10) != "" {
+		t.Fatal("zero-bucket histogram not empty")
+	}
+}

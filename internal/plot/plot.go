@@ -1,0 +1,293 @@
+// Package plot renders the paper's figures as deterministic text
+// charts: grouped and stacked horizontal bars (Figures 2, 3, 7, 10),
+// XY line grids (Figure 11), and Gantt timelines (Figures 1 and 8).
+// Output is plain UTF-8 so it survives logs, diffs and CI.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// fills are the per-series bar glyphs, cycled when series exceed them.
+var fills = []rune{'█', '▓', '▒', '░', '◆', '●'}
+
+// Bar is a grouped horizontal bar chart: one block of bars per group,
+// one bar per series.
+type Bar struct {
+	// Title is printed above the chart.
+	Title string
+	// Unit annotates the values, e.g. "s".
+	Unit string
+	// Series names the bars within each group (e.g. strategies).
+	Series []string
+	// Groups are the blocks (e.g. models).
+	Groups []BarGroup
+}
+
+// BarGroup is one labeled block of values, one per series.
+type BarGroup struct {
+	Label  string
+	Values []float64
+}
+
+// Render draws the chart with bars scaled into `width` cells.
+func (b *Bar) Render(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	max := 0.0
+	labelW := 0
+	for _, s := range b.Series {
+		if len(s) > labelW {
+			labelW = len(s)
+		}
+	}
+	for _, g := range b.Groups {
+		for _, v := range g.Values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var out strings.Builder
+	if b.Title != "" {
+		fmt.Fprintf(&out, "%s\n", b.Title)
+	}
+	for _, g := range b.Groups {
+		fmt.Fprintf(&out, "%s\n", g.Label)
+		for i, v := range g.Values {
+			name := ""
+			if i < len(b.Series) {
+				name = b.Series[i]
+			}
+			n := int(math.Round(v / max * float64(width)))
+			if n == 0 && v > 0 {
+				n = 1
+			}
+			fill := fills[i%len(fills)]
+			fmt.Fprintf(&out, "  %-*s %s %.3f%s\n", labelW, name, strings.Repeat(string(fill), n), v, b.Unit)
+		}
+	}
+	return out.String()
+}
+
+// Stacked is a stacked horizontal bar chart: one bar per group, split
+// into labeled segments (e.g. loading-phase stages).
+type Stacked struct {
+	Title    string
+	Segments []string
+	Groups   []BarGroup
+}
+
+// Render draws one stacked bar per group, scaled so the largest total
+// fills `width` cells, followed by a legend.
+func (s *Stacked) Render(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	maxTotal := 0.0
+	labelW := 0
+	for _, g := range s.Groups {
+		total := 0.0
+		for _, v := range g.Values {
+			total += v
+		}
+		if total > maxTotal {
+			maxTotal = total
+		}
+		if len(g.Label) > labelW {
+			labelW = len(g.Label)
+		}
+	}
+	if maxTotal == 0 {
+		maxTotal = 1
+	}
+	var out strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&out, "%s\n", s.Title)
+	}
+	for _, g := range s.Groups {
+		fmt.Fprintf(&out, "%-*s ", labelW, g.Label)
+		total := 0.0
+		for i, v := range g.Values {
+			n := int(math.Round(v / maxTotal * float64(width)))
+			if n == 0 && v > 0 {
+				n = 1
+			}
+			out.WriteString(strings.Repeat(string(fills[i%len(fills)]), n))
+			total += v
+		}
+		fmt.Fprintf(&out, " %.3f\n", total)
+	}
+	out.WriteString("legend:")
+	for i, name := range s.Segments {
+		fmt.Fprintf(&out, " %c=%s", fills[i%len(fills)], name)
+	}
+	out.WriteByte('\n')
+	return out.String()
+}
+
+// LineSeries is one named XY series.
+type LineSeries struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Line is an XY chart drawn on a character grid with per-series marks.
+type Line struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []LineSeries
+	// LogY plots log10(y) — Figure 11's tail latencies span decades.
+	LogY bool
+}
+
+// marks are per-series point glyphs.
+var marks = []rune{'o', 'x', '+', '*', '#', '@'}
+
+// Render plots the series into a w×h grid with axis annotations.
+func (l *Line) Render(w, h int) string {
+	if w < 16 {
+		w = 16
+	}
+	if h < 6 {
+		h = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	yval := func(y float64) float64 {
+		if l.LogY {
+			if y <= 0 {
+				y = 1e-9
+			}
+			return math.Log10(y)
+		}
+		return y
+	}
+	for _, s := range l.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, yval(s.Y[i]))
+			maxY = math.Max(maxY, yval(s.Y[i]))
+		}
+	}
+	if math.IsInf(minX, 1) {
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = make([]rune, w)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for si, s := range l.Series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			c := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(w-1)))
+			r := int(math.Round((yval(s.Y[i]) - minY) / (maxY - minY) * float64(h-1)))
+			row := h - 1 - r
+			if grid[row][c] != ' ' && grid[row][c] != mark {
+				grid[row][c] = '*' // overlapping series
+			} else {
+				grid[row][c] = mark
+			}
+		}
+	}
+	var out strings.Builder
+	if l.Title != "" {
+		fmt.Fprintf(&out, "%s\n", l.Title)
+	}
+	yTop, yBot := maxY, minY
+	if l.LogY {
+		yTop, yBot = math.Pow(10, maxY), math.Pow(10, minY)
+	}
+	for r, row := range grid {
+		prefix := "          "
+		switch r {
+		case 0:
+			prefix = fmt.Sprintf("%9.3g ", yTop)
+		case h - 1:
+			prefix = fmt.Sprintf("%9.3g ", yBot)
+		}
+		fmt.Fprintf(&out, "%s|%s\n", prefix, string(row))
+	}
+	fmt.Fprintf(&out, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", w))
+	fmt.Fprintf(&out, "%s%-*.4g%*.4g  (%s)\n", strings.Repeat(" ", 11), w/2, minX, w-w/2, maxX, l.XLabel)
+	out.WriteString("legend:")
+	for i, s := range l.Series {
+		fmt.Fprintf(&out, " %c=%s", marks[i%len(marks)], s.Name)
+	}
+	if l.YLabel != "" {
+		fmt.Fprintf(&out, "  [y: %s", l.YLabel)
+		if l.LogY {
+			out.WriteString(", log scale")
+		}
+		out.WriteString("]")
+	}
+	out.WriteByte('\n')
+	return out.String()
+}
+
+// GanttRow is one labeled interval.
+type GanttRow struct {
+	Label string
+	Start float64
+	End   float64
+}
+
+// Gantt renders a timeline of intervals scaled into `width` cells —
+// the shape of the paper's Figures 1 and 8.
+func Gantt(title string, rows []GanttRow, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	maxEnd := 0.0
+	labelW := 0
+	for _, r := range rows {
+		if r.End > maxEnd {
+			maxEnd = r.End
+		}
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	if maxEnd == 0 {
+		maxEnd = 1
+	}
+	var out strings.Builder
+	if title != "" {
+		fmt.Fprintf(&out, "%s\n", title)
+	}
+	for _, r := range rows {
+		lead := int(math.Round(r.Start / maxEnd * float64(width)))
+		span := int(math.Round((r.End - r.Start) / maxEnd * float64(width)))
+		if span == 0 && r.End > r.Start {
+			span = 1
+		}
+		if lead+span > width {
+			span = width - lead
+		}
+		fmt.Fprintf(&out, "%-*s |%s%s%s| %.3f–%.3f\n",
+			labelW, r.Label,
+			strings.Repeat(" ", lead),
+			strings.Repeat("█", span),
+			strings.Repeat(" ", width-lead-span),
+			r.Start, r.End)
+	}
+	return out.String()
+}

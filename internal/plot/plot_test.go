@@ -1,0 +1,164 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarRender(t *testing.T) {
+	b := &Bar{
+		Title:  "loading",
+		Unit:   "s",
+		Series: []string{"vLLM", "MEDUSA"},
+		Groups: []BarGroup{
+			{Label: "Qwen1.5-4B", Values: []float64{2.92, 1.68}},
+			{Label: "Llama2-7B", Values: []float64{2.96, 1.45}},
+		},
+	}
+	out := b.Render(40)
+	if !strings.Contains(out, "loading") || !strings.Contains(out, "Qwen1.5-4B") {
+		t.Fatalf("missing labels:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	var vllmBar, medusaBar string
+	for _, ln := range lines {
+		if strings.Contains(ln, "vLLM") && strings.Contains(ln, "2.920s") {
+			vllmBar = ln
+		}
+		if strings.Contains(ln, "MEDUSA") && strings.Contains(ln, "1.680s") {
+			medusaBar = ln
+		}
+	}
+	if vllmBar == "" || medusaBar == "" {
+		t.Fatalf("bars missing:\n%s", out)
+	}
+	// The longer value draws a longer bar.
+	if strings.Count(vllmBar, "█") <= strings.Count(medusaBar, "▓") {
+		t.Fatalf("bar lengths do not reflect values:\n%s", out)
+	}
+	// Deterministic.
+	if out != b.Render(40) {
+		t.Fatal("Bar.Render not deterministic")
+	}
+}
+
+func TestBarTinyValuesStillVisible(t *testing.T) {
+	b := &Bar{Series: []string{"a"}, Groups: []BarGroup{{Label: "g", Values: []float64{0.0001}},
+		{Label: "h", Values: []float64{100}}}}
+	out := b.Render(20)
+	// Nonzero values always draw at least one cell.
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.Contains(ln, "0.000") && !strings.ContainsRune(ln, '█') {
+			t.Fatalf("tiny value invisible:\n%s", out)
+		}
+	}
+}
+
+func TestBarZeroMax(t *testing.T) {
+	b := &Bar{Series: []string{"a"}, Groups: []BarGroup{{Label: "g", Values: []float64{0}}}}
+	if out := b.Render(20); !strings.Contains(out, "0.000") {
+		t.Fatalf("zero chart broken:\n%s", out)
+	}
+}
+
+func TestStackedRender(t *testing.T) {
+	s := &Stacked{
+		Title:    "breakdown",
+		Segments: []string{"struct", "weights", "capture"},
+		Groups: []BarGroup{
+			{Label: "Qwen1.5-4B", Values: []float64{0.85, 0.42, 1.0}},
+			{Label: "Qwen1.5-0.5B", Values: []float64{0.50, 0.06, 0.43}},
+		},
+	}
+	out := s.Render(50)
+	if !strings.Contains(out, "legend: █=struct ▓=weights ▒=capture") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "2.270") || !strings.Contains(out, "0.990") {
+		t.Fatalf("totals missing:\n%s", out)
+	}
+	// The larger total's bar occupies more cells.
+	lines := strings.Split(out, "\n")
+	count := func(substr string) int {
+		for _, ln := range lines {
+			if strings.Contains(ln, substr) {
+				return strings.Count(ln, "█") + strings.Count(ln, "▓") + strings.Count(ln, "▒")
+			}
+		}
+		return -1
+	}
+	if count("Qwen1.5-4B ") <= count("Qwen1.5-0.5B") {
+		t.Fatalf("stacked widths wrong:\n%s", out)
+	}
+}
+
+func TestLineRender(t *testing.T) {
+	l := &Line{
+		Title:  "p99 vs throughput",
+		XLabel: "req/s",
+		YLabel: "seconds",
+		Series: []LineSeries{
+			{Name: "vLLM", X: []float64{1, 2, 3}, Y: []float64{0.1, 0.2, 2.0}},
+			{Name: "MEDUSA", X: []float64{1, 2, 3}, Y: []float64{0.1, 0.15, 1.0}},
+		},
+		LogY: true,
+	}
+	out := l.Render(30, 8)
+	if !strings.Contains(out, "legend: o=vLLM x=MEDUSA") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "log scale") || !strings.Contains(out, "req/s") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+	if !strings.ContainsRune(out, 'o') || !strings.ContainsRune(out, 'x') {
+		t.Fatalf("marks missing:\n%s", out)
+	}
+}
+
+func TestLineEmptySeries(t *testing.T) {
+	l := &Line{Series: nil}
+	if out := l.Render(20, 6); out == "" {
+		t.Fatal("empty line chart produced nothing")
+	}
+}
+
+func TestGanttRender(t *testing.T) {
+	rows := []GanttRow{
+		{Label: "struct_init", Start: 0, End: 0.85},
+		{Label: "weights", Start: 0.87, End: 1.29},
+		{Label: "tokenizer", Start: 0.87, End: 1.08},
+	}
+	out := Gantt("MEDUSA timeline", rows, 40)
+	if !strings.Contains(out, "MEDUSA timeline") {
+		t.Fatalf("title missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rows = %d:\n%s", len(lines), out)
+	}
+	// Overlapping stages (weights, tokenizer) start at the same column.
+	wIdx := strings.Index(lines[2], "█")
+	tIdx := strings.Index(lines[3], "█")
+	if wIdx != tIdx {
+		t.Fatalf("overlapping stages misaligned (%d vs %d):\n%s", wIdx, tIdx, out)
+	}
+	// struct_init starts at the left edge.
+	if !strings.Contains(lines[1], "|█") {
+		t.Fatalf("first stage not at origin:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "0.000–0.850") {
+		t.Fatalf("interval annotation missing:\n%s", out)
+	}
+}
+
+func TestGanttZeroSpanVisible(t *testing.T) {
+	out := Gantt("", []GanttRow{
+		{Label: "kv_restore", Start: 0.85, End: 0.87},
+		{Label: "long", Start: 0, End: 10},
+	}, 50)
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.Contains(ln, "kv_restore") && !strings.ContainsRune(ln, '█') {
+			t.Fatalf("short stage invisible:\n%s", out)
+		}
+	}
+}

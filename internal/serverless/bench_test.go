@@ -1,0 +1,36 @@
+package serverless
+
+import (
+	"testing"
+	"time"
+
+	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/model"
+	"github.com/medusa-repro/medusa/internal/storage"
+	"github.com/medusa-repro/medusa/internal/workload"
+)
+
+func BenchmarkClusterSimulation(b *testing.B) {
+	cfg, err := model.ByName("Qwen1.5-0.5B")
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := storage.NewStore(storage.DefaultArray())
+	reqs, err := workload.Generate(workload.TraceConfig{
+		Seed: 1, RPS: 10, Duration: 60 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := Config{Model: cfg, Strategy: engine.StrategyVLLM, Store: store, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(sc, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Completed), "requests")
+		}
+	}
+}

@@ -1,0 +1,341 @@
+// Package serverless simulates the serverless inference cluster of the
+// paper's §7.5: requests arrive at a router, instances scale from zero
+// with strategy-dependent cold-start latency (warm containers eliminate
+// runtime init, so cold start equals the loading phase), and each
+// instance serves with iteration-level continuous batching. The
+// discrete-event simulation reproduces the queueing dynamics behind
+// Figures 10 and 11: cold starts inflate time-to-first-token tails.
+package serverless
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/medusa"
+	"github.com/medusa-repro/medusa/internal/metrics"
+	"github.com/medusa-repro/medusa/internal/model"
+	"github.com/medusa-repro/medusa/internal/storage"
+	"github.com/medusa-repro/medusa/internal/workload"
+)
+
+// Config parameterizes one cluster simulation.
+type Config struct {
+	// Model is the served model.
+	Model model.Config
+	// Strategy is the cold-start loading strategy.
+	Strategy engine.Strategy
+	// Store holds weights and artifacts.
+	Store *storage.Store
+	// Artifact (plus its encoded size) is required for
+	// engine.StrategyMedusa.
+	Artifact      *medusa.Artifact
+	ArtifactBytes uint64
+	// NumGPUs bounds concurrent instances (the paper's testbed has 4).
+	NumGPUs int
+	// TPDegree shards each instance tensor-parallel across this many
+	// GPUs (§8 extension). An instance then occupies TPDegree GPUs, so
+	// at most NumGPUs/TPDegree instances run concurrently. 0 or 1 means
+	// single-GPU instances.
+	TPDegree int
+	// MaxBatch bounds per-instance concurrency (vLLM max_num_seqs).
+	MaxBatch int
+	// InstanceTarget is the outstanding-request count one instance is
+	// expected to absorb before the autoscaler adds another.
+	InstanceTarget int
+	// IdleTimeout retires instances with no work (0 disables).
+	IdleTimeout time.Duration
+	// Prewarm provisions this many instances ready at time zero (no
+	// cold start charged), modelling an already-running deployment —
+	// Figure 11's setting, where only scale-out pays cold starts.
+	Prewarm int
+	// WarmContainers sizes the pool of pre-initialized execution
+	// environments (§7.5's assumption, from SAND/SOCK-style systems).
+	// Launches beyond the pool also pay the runtime-initialization
+	// phase on top of the loading phase. 0 means an unbounded pool —
+	// the paper's setting.
+	WarmContainers int
+	// AvgContextTokens is the mean sequence context assumed for decode
+	// KV-read accounting (default: ShareGPT prompt + half output).
+	AvgContextTokens int
+	// FollowUp, when set, turns the trace into multi-turn
+	// conversations: after a request completes, the "user" reads the
+	// answer and may send a follow-up whose prompt includes the
+	// conversation so far — ShareGPT's actual shape.
+	FollowUp *FollowUpModel
+	// Seed namespaces the profile instance's address space and the
+	// follow-up sampling.
+	Seed int64
+}
+
+// FollowUpModel parameterizes conversational follow-up turns.
+type FollowUpModel struct {
+	// Probability of a follow-up after each completed turn.
+	Probability float64
+	// ThinkTime is the user's reading/typing delay before the
+	// follow-up arrives.
+	ThinkTime time.Duration
+	// MaxTurns caps a conversation's total turns (≥1; the initial
+	// request counts as turn 1).
+	MaxTurns int
+	// NewTokens is the fresh user input appended to the accumulated
+	// context on each follow-up.
+	NewTokens int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.NumGPUs == 0 {
+		c.NumGPUs = 4
+	}
+	if c.TPDegree < 1 {
+		c.TPDegree = 1
+	}
+	if c.TPDegree > c.NumGPUs {
+		return c, fmt.Errorf("serverless: TP degree %d exceeds %d GPUs", c.TPDegree, c.NumGPUs)
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = model.MaxCaptureBatch()
+	}
+	if c.InstanceTarget == 0 {
+		c.InstanceTarget = 128
+	}
+	if c.AvgContextTokens == 0 {
+		c.AvgContextTokens = workload.ShareGPTMeanPrompt + workload.ShareGPTMeanOutput/2
+	}
+	if c.Store == nil {
+		c.Store = storage.NewStore(storage.DefaultArray())
+	}
+	// Tensor-parallel instances materialize per-rank artifacts inside
+	// engine.TPColdStart; only single-GPU Medusa needs one up front.
+	if c.Strategy == engine.StrategyMedusa && c.Artifact == nil && c.TPDegree == 1 {
+		return c, fmt.Errorf("serverless: Medusa strategy requires an artifact")
+	}
+	return c, nil
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	// TTFT is the time-to-first-token sample (the paper's headline
+	// metric, reported at p99).
+	TTFT *metrics.Sample
+	// E2E is end-to-end request latency.
+	E2E *metrics.Sample
+	// Completed counts finished requests.
+	Completed int
+	// Makespan is arrival of the first request to completion of the
+	// last.
+	Makespan time.Duration
+	// Throughput is completed requests per second of makespan.
+	Throughput float64
+	// ColdStarts counts instance launches.
+	ColdStarts int
+	// PeakInstances is the maximum concurrently provisioned instances.
+	PeakInstances int
+}
+
+// profile is the timing fingerprint of one (model, strategy) instance,
+// measured once on a real engine instance and shared by every
+// simulated replica.
+type profile struct {
+	coldStart time.Duration
+	prefill   func(int) (time.Duration, error)
+	decode    func(int) (time.Duration, error)
+	kvPerTok  time.Duration // extra decode time per running sequence (KV reads)
+	maxKVTok  int
+
+	// Deferred-capture support (§2.4 strawman): graphBatch maps a
+	// batch to its capture size, ensure lazily captures on the template
+	// instance, capCost memoizes the measured one-time cost.
+	deferred   bool
+	graphBatch func(int) int
+	ensure     func(int) (time.Duration, error)
+	capCost    map[int]time.Duration
+}
+
+// buildProfile cold-starts one template instance (or tensor-parallel
+// rank group) and wraps its memoized cost accessors.
+func buildProfile(cfg Config) (*profile, error) {
+	// Per-sequence KV read cost at the assumed context, beyond the
+	// engine's capture-calibrated baseline: ctx · hidden · 2 sides ·
+	// 2 bytes · layers over HBM bandwidth; sharded TP ranks each read
+	// 1/TP of it in parallel.
+	m := cfg.Model
+	bytesPerSeq := float64(cfg.AvgContextTokens) * float64(m.Hidden) * 2 * 2 * float64(m.Layers) / float64(cfg.TPDegree)
+
+	if cfg.TPDegree > 1 {
+		tp, err := engine.TPColdStart(engine.TPOptions{
+			Model:    cfg.Model,
+			Degree:   cfg.TPDegree,
+			Strategy: cfg.Strategy,
+			Store:    cfg.Store,
+			Seed:     cfg.Seed ^ 0x7a7a,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bw := tp.Ranks[0].Process().Device().Config().MemBandwidth
+		return &profile{
+			coldStart: tp.LoadingDuration,
+			prefill:   tp.PrefillDuration,
+			decode:    tp.DecodeStepDuration,
+			kvPerTok:  time.Duration(bytesPerSeq / bw * float64(time.Second)),
+			maxKVTok:  tp.KVRecord().NumBlocks * 16,
+			// Deferred capture is not modeled for TP instances.
+			graphBatch: tp.Ranks[0].GraphBatch,
+			capCost:    make(map[int]time.Duration),
+		}, nil
+	}
+
+	inst, err := engine.ColdStart(engine.Options{
+		Model:         cfg.Model,
+		Strategy:      cfg.Strategy,
+		Seed:          cfg.Seed ^ 0x7a7a,
+		Store:         cfg.Store,
+		Artifact:      cfg.Artifact,
+		ArtifactBytes: cfg.ArtifactBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	kvPerTok := time.Duration(bytesPerSeq / inst.Process().Device().Config().MemBandwidth * float64(time.Second))
+	return &profile{
+		coldStart:  inst.LoadingDuration(),
+		prefill:    inst.PrefillDuration,
+		decode:     inst.DecodeStepDuration,
+		kvPerTok:   kvPerTok,
+		maxKVTok:   inst.KVRecord().NumBlocks * 16,
+		deferred:   cfg.Strategy == engine.StrategyDeferred,
+		graphBatch: inst.GraphBatch,
+		ensure:     inst.EnsureGraphCaptured,
+		capCost:    make(map[int]time.Duration),
+	}, nil
+}
+
+// captureCost returns the one-time lazy-capture cost an instance pays
+// the first time it serves a batch covered by graph size gb.
+func (p *profile) captureCost(n int) (int, time.Duration, error) {
+	gb := p.graphBatch(n)
+	if d, ok := p.capCost[gb]; ok {
+		return gb, d, nil
+	}
+	d, err := p.ensure(gb)
+	if err != nil {
+		return 0, 0, err
+	}
+	p.capCost[gb] = d
+	return gb, d, nil
+}
+
+// decodeStep is one continuous-batching iteration for n sequences.
+func (p *profile) decodeStep(n int) (time.Duration, error) {
+	base, err := p.decode(n)
+	if err != nil {
+		return 0, err
+	}
+	return base + time.Duration(n)*p.kvPerTok, nil
+}
+
+// Deployment is one model's slice of a shared cluster.
+type Deployment struct {
+	// Name labels the deployment in results.
+	Name string
+	// Config carries the model, strategy and per-deployment policies.
+	// NumGPUs and WarmContainers are cluster-wide and taken from
+	// MultiConfig instead.
+	Config Config
+	// Requests is the deployment's arrival trace.
+	Requests []workload.Request
+}
+
+// MultiConfig shares one GPU pool among several deployments — the
+// setting behind §2.4's observation that hot spares for every model
+// type are unaffordable.
+type MultiConfig struct {
+	// NumGPUs is the shared pool size.
+	NumGPUs int
+	// WarmContainers sizes the shared warm execution-environment pool
+	// (0 = unbounded, the paper's assumption).
+	WarmContainers int
+	// Deployments are the co-located models.
+	Deployments []Deployment
+}
+
+// MultiResult aggregates a shared-cluster simulation.
+type MultiResult struct {
+	// PerDeployment holds each deployment's latency statistics, in
+	// configuration order.
+	PerDeployment []*Result
+	// TotalColdStarts counts instance launches across deployments.
+	TotalColdStarts int
+	// GPUSeconds is total provisioned GPU time (busy or idle) — the
+	// cost side of the hot-spare trade-off.
+	GPUSeconds float64
+	// Makespan spans simulation start to the last completion.
+	Makespan time.Duration
+}
+
+// RunMulti simulates several deployments contending for one GPU pool.
+func RunMulti(cfg MultiConfig) (*MultiResult, error) {
+	if cfg.NumGPUs == 0 {
+		cfg.NumGPUs = 4
+	}
+	if len(cfg.Deployments) == 0 {
+		return nil, fmt.Errorf("serverless: no deployments")
+	}
+	sim := &simulation{numGPUs: cfg.NumGPUs, warmLeft: -1}
+	if cfg.WarmContainers > 0 {
+		sim.warmLeft = cfg.WarmContainers
+	}
+	for di, dep := range cfg.Deployments {
+		if len(dep.Requests) == 0 {
+			return nil, fmt.Errorf("serverless: deployment %d (%s) has an empty trace", di, dep.Name)
+		}
+		dcfg := dep.Config
+		dcfg.NumGPUs = cfg.NumGPUs
+		dcfg, err := dcfg.withDefaults()
+		if err != nil {
+			return nil, fmt.Errorf("deployment %d (%s): %w", di, dep.Name, err)
+		}
+		prof, err := buildProfile(dcfg)
+		if err != nil {
+			return nil, fmt.Errorf("serverless: profiling %s: %w", dep.Name, err)
+		}
+		d := &depState{
+			cfg:      dcfg,
+			prof:     prof,
+			firstArr: dep.Requests[0].Arrival,
+			rng:      rand.New(rand.NewSource(dcfg.Seed ^ 0x5eed ^ int64(di))),
+		}
+		sim.deps = append(sim.deps, d)
+		for _, r := range dep.Requests {
+			sim.states = append(sim.states, &reqState{Request: r, dep: di, turn: 1})
+		}
+	}
+	// Re-number global request IDs to index states.
+	for i := range sim.states {
+		sim.states[i].ID = i
+	}
+	return sim.run()
+}
+
+// Run simulates serving one deployment's trace and returns its latency
+// statistics.
+func Run(cfg Config, reqs []workload.Request) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("serverless: empty trace")
+	}
+	multi, err := RunMulti(MultiConfig{
+		NumGPUs:        cfg.NumGPUs,
+		WarmContainers: cfg.WarmContainers,
+		Deployments:    []Deployment{{Name: cfg.Model.Name, Config: cfg, Requests: reqs}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return multi.PerDeployment[0], nil
+}

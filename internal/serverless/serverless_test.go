@@ -1,0 +1,178 @@
+package serverless
+
+import (
+	"testing"
+	"time"
+
+	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/model"
+	"github.com/medusa-repro/medusa/internal/storage"
+	"github.com/medusa-repro/medusa/internal/workload"
+)
+
+// simFixture builds a store with an offline artifact for the model.
+func simFixture(t testing.TB, name string) (*storage.Store, Config) {
+	t.Helper()
+	cfg, err := model.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := storage.NewStore(storage.DefaultArray())
+	art, report, err := engine.RunOffline(engine.OfflineOptions{Model: cfg, Store: store, Seed: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, Config{
+		Model: cfg, Store: store, Artifact: art, ArtifactBytes: report.ArtifactBytes, Seed: 1,
+	}
+}
+
+func shortTrace(t testing.TB, rps float64, seconds int) []workload.Request {
+	t.Helper()
+	reqs, err := workload.Generate(workload.TraceConfig{
+		Seed: 42, RPS: rps, Duration: time.Duration(seconds) * time.Second,
+		MeanOutput: 64, MaxOutput: 128, // shorter outputs keep unit tests quick
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+func TestSimulationCompletesAllRequests(t *testing.T) {
+	_, base := simFixture(t, "Qwen1.5-0.5B")
+	base.Strategy = engine.StrategyVLLM
+	reqs := shortTrace(t, 5, 20)
+	res, err := Run(base, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(reqs) {
+		t.Fatalf("completed %d of %d", res.Completed, len(reqs))
+	}
+	if res.ColdStarts < 1 {
+		t.Fatal("no cold start recorded")
+	}
+	if res.TTFT.Len() != len(reqs) || res.E2E.Len() != len(reqs) {
+		t.Fatal("latency samples incomplete")
+	}
+	if res.Throughput <= 0 || res.Makespan <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	// Every TTFT must at least cover the first cold start for the first
+	// request, and be ≤ its E2E.
+	if res.TTFT.P50() > res.E2E.P50() {
+		t.Fatal("median TTFT exceeds median E2E")
+	}
+}
+
+func TestFirstRequestPaysColdStart(t *testing.T) {
+	_, base := simFixture(t, "Qwen1.5-0.5B")
+	base.Strategy = engine.StrategyVLLM
+	reqs := []workload.Request{{ID: 0, Arrival: 0, PromptTokens: 100, OutputTokens: 4}}
+	res, err := Run(base, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TTFT ≥ cold start (loading phase) of the strategy.
+	vllm, err := engine.ColdStart(engine.Options{
+		Model: base.Model, Strategy: engine.StrategyVLLM, Seed: 77, Store: base.Store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TTFT.Max() < vllm.LoadingDuration() {
+		t.Fatalf("TTFT %v below cold start %v", res.TTFT.Max(), vllm.LoadingDuration())
+	}
+}
+
+func TestMedusaBeatsVLLMTail(t *testing.T) {
+	_, base := simFixture(t, "Qwen1.5-0.5B")
+	reqs := shortTrace(t, 10, 20)
+	p99 := map[engine.Strategy]time.Duration{}
+	for _, s := range []engine.Strategy{engine.StrategyVLLM, engine.StrategyMedusa} {
+		cfg := base
+		cfg.Strategy = s
+		res, err := Run(cfg, reqs)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		p99[s] = res.TTFT.P99()
+	}
+	if p99[engine.StrategyMedusa] >= p99[engine.StrategyVLLM] {
+		t.Fatalf("Medusa p99 %v not below vLLM %v", p99[engine.StrategyMedusa], p99[engine.StrategyVLLM])
+	}
+}
+
+func TestAutoscaleUnderBurst(t *testing.T) {
+	_, base := simFixture(t, "Qwen1.5-0.5B")
+	base.Strategy = engine.StrategyMedusa
+	base.InstanceTarget = 16
+	base.NumGPUs = 4
+	reqs := shortTrace(t, 40, 10)
+	res, err := Run(base, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakInstances < 2 {
+		t.Fatalf("peak instances = %d, want scale-out under burst", res.PeakInstances)
+	}
+	if res.PeakInstances > 4 {
+		t.Fatalf("peak instances = %d exceeds GPU count", res.PeakInstances)
+	}
+}
+
+func TestIdleTimeoutRetiresInstances(t *testing.T) {
+	_, base := simFixture(t, "Qwen1.5-0.5B")
+	base.Strategy = engine.StrategyMedusa
+	base.IdleTimeout = 2 * time.Second
+	// Two widely separated requests: the second should see a fresh cold
+	// start after the first instance retires.
+	reqs := []workload.Request{
+		{ID: 0, Arrival: 0, PromptTokens: 64, OutputTokens: 4},
+		{ID: 1, Arrival: 60 * time.Second, PromptTokens: 64, OutputTokens: 4},
+	}
+	res, err := Run(base, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ColdStarts != 2 {
+		t.Fatalf("cold starts = %d, want 2 (idle retirement)", res.ColdStarts)
+	}
+}
+
+func TestWarmInstanceServesFast(t *testing.T) {
+	_, base := simFixture(t, "Qwen1.5-0.5B")
+	base.Strategy = engine.StrategyMedusa
+	// Second request arrives long after the first completes but within
+	// any idle timeout (none set): served warm, TTFT ≪ cold start.
+	reqs := []workload.Request{
+		{ID: 0, Arrival: 0, PromptTokens: 64, OutputTokens: 4},
+		{ID: 1, Arrival: 30 * time.Second, PromptTokens: 64, OutputTokens: 4},
+	}
+	res, err := Run(base, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmTTFT := res.TTFT.P50() // the smaller of the two
+	if warmTTFT > 200*time.Millisecond {
+		t.Fatalf("warm TTFT = %v, want well under cold start", warmTTFT)
+	}
+	if res.ColdStarts != 1 {
+		t.Fatalf("cold starts = %d, want 1", res.ColdStarts)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	_, base := simFixture(t, "Qwen1.5-0.5B")
+	base.Strategy = engine.StrategyMedusa
+	if _, err := Run(base, nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	bad := base
+	bad.Artifact = nil
+	bad.Strategy = engine.StrategyMedusa
+	if _, err := Run(bad, shortTrace(t, 1, 2)); err == nil {
+		t.Fatal("Medusa without artifact accepted")
+	}
+}

@@ -1,0 +1,436 @@
+package serverless
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/medusa-repro/medusa/internal/metrics"
+	"github.com/medusa-repro/medusa/internal/workload"
+)
+
+// The simulator is natively multi-deployment: several models share one
+// GPU pool, each with its own queue, autoscaling target and loading
+// strategy. The single-model Run is a one-deployment wrapper. This is
+// the setting behind §2.4's economics argument: hot spares for every
+// model type are unaffordable, so cold-start latency is what decides
+// tail TTFT.
+
+// eventKind discriminates simulation events.
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evInstanceReady
+	evIterationEnd
+	evIdleCheck
+)
+
+// event is one scheduled occurrence.
+type event struct {
+	t    time.Duration
+	kind eventKind
+	req  int // arrival: global request index
+	inst int // instance id for ready/iteration events
+	seq  int // tie-break for determinism
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// reqState tracks one request through the system.
+type reqState struct {
+	workload.Request
+	dep      int // owning deployment
+	emitted  int
+	ttftSeen bool
+	// turn is the request's position in its conversation (1-based).
+	turn int
+}
+
+// instState is one provisioned instance.
+type instState struct {
+	id      int
+	dep     int
+	ready   bool
+	retired bool
+	running []*reqState
+	// iterating reports whether an iteration-end event is in flight.
+	iterating  bool
+	idleSince  time.Duration
+	launchedAt time.Duration
+	retiredAt  time.Duration
+	kvTokens   int
+	// captured tracks graph sizes this instance has lazily captured
+	// (deferred-capture strategy only).
+	captured map[int]bool
+}
+
+// depState is one deployment's queue, profile and metrics.
+type depState struct {
+	cfg  Config
+	prof *profile
+
+	pending    []*reqState
+	ttft, e2e  metrics.Sample
+	completed  int
+	coldStarts int
+	peak       int
+	live       int
+	firstArr   time.Duration
+	lastDone   time.Duration
+	rng        *rand.Rand
+}
+
+// simulation is the discrete-event state.
+type simulation struct {
+	numGPUs  int
+	warmLeft int // remaining warm containers (-1 = unbounded)
+
+	deps      []*depState
+	instances []*instState
+	states    []*reqState
+
+	now    time.Duration
+	events eventHeap
+	seq    int
+
+	completed int
+	lastDone  time.Duration
+}
+
+func (s *simulation) schedule(t time.Duration, ev event) {
+	ev.t = t
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, ev)
+}
+
+// runtimeInitDuration mirrors the engine's runtime-initialization
+// phase, paid by launches that miss the warm container pool.
+const runtimeInitDuration = 830 * time.Millisecond
+
+// gpusUsed sums the GPUs held by live instances.
+func (s *simulation) gpusUsed() int {
+	n := 0
+	for _, inst := range s.instances {
+		if !inst.retired {
+			n += s.deps[inst.dep].cfg.TPDegree
+		}
+	}
+	return n
+}
+
+func (s *simulation) run() (*MultiResult, error) {
+	heap.Init(&s.events)
+	for di, d := range s.deps {
+		// Pre-warmed instances occupy their GPUs from time zero.
+		for i := 0; i < d.cfg.Prewarm; i++ {
+			if s.gpusUsed()+d.cfg.TPDegree > s.numGPUs {
+				break
+			}
+			inst := &instState{id: len(s.instances), dep: di, ready: true}
+			s.instances = append(s.instances, inst)
+			d.live++
+		}
+		if d.live > d.peak {
+			d.peak = d.live
+		}
+	}
+	for i := range s.states {
+		s.schedule(s.states[i].Arrival, event{kind: evArrival, req: i})
+	}
+
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(event)
+		s.now = ev.t
+		switch ev.kind {
+		case evArrival:
+			r := s.states[ev.req]
+			s.deps[r.dep].pending = append(s.deps[r.dep].pending, r)
+			s.autoscaleAll()
+			if err := s.dispatchIdle(); err != nil {
+				return nil, err
+			}
+		case evInstanceReady:
+			inst := s.instances[ev.inst]
+			inst.ready = true
+			s.markIdle(inst)
+			if err := s.dispatchIdle(); err != nil {
+				return nil, err
+			}
+		case evIterationEnd:
+			if err := s.finishIteration(s.instances[ev.inst]); err != nil {
+				return nil, err
+			}
+		case evIdleCheck:
+			inst := s.instances[ev.inst]
+			d := s.deps[inst.dep]
+			if !inst.retired && inst.ready && !inst.iterating && len(inst.running) == 0 &&
+				s.now-inst.idleSince >= d.cfg.IdleTimeout {
+				inst.retired = true
+				inst.retiredAt = s.now
+				d.live--
+				// A freed GPU may unblock another deployment's launch.
+				s.autoscaleAll()
+				if err := s.dispatchIdle(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if s.completed != len(s.states) {
+		return nil, fmt.Errorf("serverless: %d of %d requests completed", s.completed, len(s.states))
+	}
+	return s.assemble(), nil
+}
+
+// assemble builds the results, including GPU-time accounting.
+func (s *simulation) assemble() *MultiResult {
+	out := &MultiResult{Makespan: s.lastDone}
+	for _, d := range s.deps {
+		res := &Result{
+			TTFT:          &d.ttft,
+			E2E:           &d.e2e,
+			Completed:     d.completed,
+			Makespan:      d.lastDone - d.firstArr,
+			Throughput:    metrics.Throughput(d.completed, d.lastDone-d.firstArr),
+			ColdStarts:    d.coldStarts,
+			PeakInstances: d.peak,
+		}
+		out.PerDeployment = append(out.PerDeployment, res)
+		out.TotalColdStarts += d.coldStarts
+	}
+	for _, inst := range s.instances {
+		end := s.lastDone
+		if inst.retired {
+			end = inst.retiredAt
+		}
+		if end > inst.launchedAt {
+			out.GPUSeconds += (end - inst.launchedAt).Seconds() *
+				float64(s.deps[inst.dep].cfg.TPDegree)
+		}
+	}
+	return out
+}
+
+// outstanding counts a deployment's unfinished requests.
+func (s *simulation) outstanding(di int) int {
+	n := len(s.deps[di].pending)
+	for _, inst := range s.instances {
+		if inst.dep == di && !inst.retired {
+			n += len(inst.running)
+		}
+	}
+	return n
+}
+
+// autoscaleAll runs the per-deployment autoscaler under the shared GPU
+// budget, visiting deployments round-robin so no model starves.
+func (s *simulation) autoscaleAll() {
+	progress := true
+	for progress {
+		progress = false
+		for di := range s.deps {
+			if s.launchOne(di) {
+				progress = true
+			}
+		}
+	}
+}
+
+// launchOne starts at most one instance for the deployment if demand
+// warrants and GPUs are free.
+func (s *simulation) launchOne(di int) bool {
+	d := s.deps[di]
+	out := s.outstanding(di)
+	if out == 0 {
+		return false
+	}
+	desired := 1 + (out-1)/d.cfg.InstanceTarget
+	if d.live >= desired {
+		return false
+	}
+	if s.gpusUsed()+d.cfg.TPDegree > s.numGPUs {
+		return false
+	}
+	inst := &instState{id: len(s.instances), dep: di, idleSince: s.now, launchedAt: s.now}
+	s.instances = append(s.instances, inst)
+	d.coldStarts++
+	d.live++
+	if d.live > d.peak {
+		d.peak = d.live
+	}
+	start := d.prof.coldStart
+	if s.warmLeft == 0 {
+		// Warm pool exhausted: this launch also initializes its
+		// execution environment (container, Python, framework).
+		start += runtimeInitDuration
+	} else if s.warmLeft > 0 {
+		s.warmLeft--
+	}
+	s.schedule(s.now+start, event{kind: evInstanceReady, inst: inst.id})
+	return true
+}
+
+// dispatchIdle starts iterations on ready instances that are idle and
+// have admissible work.
+func (s *simulation) dispatchIdle() error {
+	for _, inst := range s.instances {
+		if inst.ready && !inst.retired && !inst.iterating {
+			if err := s.startIteration(inst); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// admit moves pending requests of the instance's deployment into it up
+// to batch and KV capacity, returning the admitted set.
+func (s *simulation) admit(inst *instState) []*reqState {
+	d := s.deps[inst.dep]
+	var admitted []*reqState
+	for len(d.pending) > 0 && len(inst.running) < d.cfg.MaxBatch {
+		r := d.pending[0]
+		need := r.PromptTokens + r.OutputTokens
+		if inst.kvTokens+need > d.prof.maxKVTok {
+			break
+		}
+		d.pending = d.pending[1:]
+		inst.kvTokens += need
+		inst.running = append(inst.running, r)
+		admitted = append(admitted, r)
+	}
+	return admitted
+}
+
+// startIteration admits work and schedules the iteration's end. An
+// iteration covers the prefill of newly admitted requests plus one
+// decode step for every running sequence.
+func (s *simulation) startIteration(inst *instState) error {
+	d := s.deps[inst.dep]
+	admitted := s.admit(inst)
+	if len(inst.running) == 0 {
+		return nil
+	}
+	var dur time.Duration
+	if d.prof.deferred {
+		// §2.4: the capture latency lands on the first request that
+		// needs each graph size, inside its serving path.
+		gb, c, err := d.prof.captureCost(len(inst.running))
+		if err != nil {
+			return err
+		}
+		if inst.captured == nil {
+			inst.captured = make(map[int]bool)
+		}
+		if !inst.captured[gb] {
+			inst.captured[gb] = true
+			dur += c
+		}
+	}
+	for _, r := range admitted {
+		p, err := d.prof.prefill(r.PromptTokens)
+		if err != nil {
+			return err
+		}
+		dur += p
+	}
+	step, err := d.prof.decodeStep(len(inst.running))
+	if err != nil {
+		return err
+	}
+	dur += step
+	inst.iterating = true
+	s.schedule(s.now+dur, event{kind: evIterationEnd, inst: inst.id})
+	return nil
+}
+
+// finishIteration emits one token per running request, completes
+// finished ones, and starts the next iteration.
+func (s *simulation) finishIteration(inst *instState) error {
+	d := s.deps[inst.dep]
+	inst.iterating = false
+	keep := inst.running[:0]
+	for _, r := range inst.running {
+		r.emitted++
+		if !r.ttftSeen {
+			r.ttftSeen = true
+			d.ttft.Add(s.now - r.Arrival)
+		}
+		if r.emitted >= r.OutputTokens {
+			d.e2e.Add(s.now - r.Arrival)
+			d.completed++
+			s.completed++
+			inst.kvTokens -= r.PromptTokens + r.OutputTokens
+			if s.now > d.lastDone {
+				d.lastDone = s.now
+			}
+			if s.now > s.lastDone {
+				s.lastDone = s.now
+			}
+			s.maybeFollowUp(r)
+			continue
+		}
+		keep = append(keep, r)
+	}
+	inst.running = keep
+	if len(inst.running) == 0 {
+		s.markIdle(inst)
+	}
+	s.autoscaleAll()
+	return s.startIteration(inst)
+}
+
+// maybeFollowUp spawns the next conversation turn after a completion:
+// the user reads the answer (think time), then sends a follow-up whose
+// prompt carries the accumulated context.
+func (s *simulation) maybeFollowUp(r *reqState) {
+	d := s.deps[r.dep]
+	fu := d.cfg.FollowUp
+	if fu == nil || fu.Probability <= 0 {
+		return
+	}
+	if fu.MaxTurns > 0 && r.turn >= fu.MaxTurns {
+		return
+	}
+	if d.rng.Float64() >= fu.Probability {
+		return
+	}
+	newTokens := fu.NewTokens
+	if newTokens <= 0 {
+		newTokens = workload.ShareGPTMeanPrompt / 4
+	}
+	next := &reqState{
+		Request: workload.Request{
+			ID:           len(s.states),
+			Arrival:      s.now + fu.ThinkTime,
+			PromptTokens: r.PromptTokens + r.OutputTokens + newTokens,
+			OutputTokens: r.OutputTokens,
+		},
+		dep:  r.dep,
+		turn: r.turn + 1,
+	}
+	s.states = append(s.states, next)
+	s.schedule(next.Arrival, event{kind: evArrival, req: next.ID})
+}
+
+// markIdle stamps the instance idle and arms the retirement timer.
+func (s *simulation) markIdle(inst *instState) {
+	inst.idleSince = s.now
+	if s.deps[inst.dep].cfg.IdleTimeout > 0 {
+		s.schedule(s.now+s.deps[inst.dep].cfg.IdleTimeout, event{kind: evIdleCheck, inst: inst.id})
+	}
+}

@@ -1,0 +1,17 @@
+package tokenizer_test
+
+import (
+	"fmt"
+
+	"github.com/medusa-repro/medusa/internal/tokenizer"
+)
+
+func ExampleTokenizer() {
+	tk, _ := tokenizer.New(32000)
+	ids := tk.Encode("tok5 tok12")
+	fmt.Println(ids)
+	fmt.Println(tk.Decode(ids))
+	// Output:
+	// [5 12]
+	// tok5 tok12
+}

@@ -1,0 +1,36 @@
+package tokenizer
+
+import "testing"
+
+// FuzzEncodeDecode checks the tokenizer is total and id-stable on
+// arbitrary text: Encode never produces out-of-vocabulary IDs, and
+// Decode∘Encode∘Decode is stable.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add("hello world", uint16(100))
+	f.Add("tok5 tok0 tok99999999999999999999", uint16(10))
+	f.Add("", uint16(1))
+	f.Add("tok-1 tok+3   \t\n tokabc", uint16(7))
+	f.Fuzz(func(t *testing.T, text string, vocabRaw uint16) {
+		vocab := int(vocabRaw)%100000 + 1
+		tk, err := New(vocab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := tk.Encode(text)
+		for _, id := range ids {
+			if id >= uint32(vocab) {
+				t.Fatalf("id %d out of vocab %d", id, vocab)
+			}
+		}
+		canonical := tk.Decode(ids)
+		ids2 := tk.Encode(canonical)
+		if len(ids2) != len(ids) {
+			t.Fatalf("round trip changed length: %d → %d", len(ids), len(ids2))
+		}
+		for i := range ids {
+			if ids[i] != ids2[i] {
+				t.Fatal("round trip changed ids")
+			}
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package tokenizer
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewRejectsBadVocab(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("New(0) succeeded")
+	}
+	if _, err := New(-5); err == nil {
+		t.Fatal("New(-5) succeeded")
+	}
+}
+
+func TestEncodeCanonicalTokens(t *testing.T) {
+	tk, _ := New(100)
+	ids := tk.Encode("tok5 tok0 tok99")
+	want := []uint32{5, 0, 99}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("Encode = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestEncodeOutOfRangeTokenHashes(t *testing.T) {
+	tk, _ := New(10)
+	ids := tk.Encode("tok99") // out of vocab: hashed, but still in range
+	if len(ids) != 1 || ids[0] >= 10 {
+		t.Fatalf("Encode out-of-range = %v", ids)
+	}
+}
+
+func TestEncodeArbitraryWordsInRange(t *testing.T) {
+	tk, _ := New(32)
+	for _, id := range tk.Encode("the quick brown fox") {
+		if id >= 32 {
+			t.Fatalf("hashed id %d out of vocab", id)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	tk, _ := New(1000)
+	a := tk.Encode("hello world hello")
+	b := tk.Encode("hello world hello")
+	if len(a) != 3 || a[0] != a[2] {
+		t.Fatalf("Encode = %v", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Encode not deterministic")
+		}
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	tk, _ := New(10)
+	if got := tk.Decode(nil); got != "" {
+		t.Fatalf("Decode(nil) = %q", got)
+	}
+	if got := len(tk.Encode("")); got != 0 {
+		t.Fatalf("Encode(\"\") len = %d", got)
+	}
+}
+
+// Property: Encode∘Decode is the identity on ID sequences.
+func TestRoundTripProperty(t *testing.T) {
+	tk, _ := New(512)
+	f := func(raw []uint16) bool {
+		ids := make([]uint32, len(raw))
+		for i, r := range raw {
+			ids[i] = uint32(r) % 512
+		}
+		got := tk.Encode(tk.Decode(ids))
+		if len(got) != len(ids) {
+			return false
+		}
+		for i := range ids {
+			if got[i] != ids[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadDurationScalesWithVocab(t *testing.T) {
+	qwen := LoadDuration(151936)
+	llama := LoadDuration(32000)
+	if qwen <= llama {
+		t.Fatalf("LoadDuration(qwen)=%v <= LoadDuration(llama)=%v", qwen, llama)
+	}
+	// Calibration anchor: Qwen's tokenizer stage is ≈0.21 s in Fig. 8a.
+	if qwen < 190*time.Millisecond || qwen > 230*time.Millisecond {
+		t.Fatalf("Qwen tokenizer load = %v, want ≈210ms", qwen)
+	}
+}

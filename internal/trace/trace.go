@@ -1,0 +1,92 @@
+// Package trace records stage timelines of cold starts. The breakdown
+// figures of the paper (Figures 1, 2 and 8) are rendered from these
+// timelines; overlapping stages (asynchronous weight loading) are
+// first-class.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Stage is one named interval on a timeline.
+type Stage struct {
+	Name  string
+	Start time.Duration
+	End   time.Duration
+}
+
+// Duration returns the stage length.
+func (s Stage) Duration() time.Duration { return s.End - s.Start }
+
+// Timeline is an append-only set of stages.
+type Timeline struct {
+	stages []Stage
+}
+
+// Record appends a stage. Zero-length stages are kept (they document
+// eliminated work, e.g. Medusa's 0.02 s KV restore).
+func (t *Timeline) Record(name string, start, end time.Duration) {
+	if end < start {
+		panic(fmt.Sprintf("trace: stage %q ends (%v) before it starts (%v)", name, end, start))
+	}
+	t.stages = append(t.stages, Stage{Name: name, Start: start, End: end})
+}
+
+// Stages returns all stages sorted by start time (stable on ties).
+func (t *Timeline) Stages() []Stage {
+	out := append([]Stage(nil), t.stages...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Stage returns the first stage with the given name.
+func (t *Timeline) Stage(name string) (Stage, bool) {
+	for _, s := range t.stages {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Stage{}, false
+}
+
+// StageDuration returns the duration of the named stage, or zero.
+func (t *Timeline) StageDuration(name string) time.Duration {
+	s, _ := t.Stage(name)
+	return s.Duration()
+}
+
+// Span returns the overall [min start, max end] extent.
+func (t *Timeline) Span() (time.Duration, time.Duration) {
+	if len(t.stages) == 0 {
+		return 0, 0
+	}
+	lo, hi := t.stages[0].Start, t.stages[0].End
+	for _, s := range t.stages[1:] {
+		if s.Start < lo {
+			lo = s.Start
+		}
+		if s.End > hi {
+			hi = s.End
+		}
+	}
+	return lo, hi
+}
+
+// Total returns the extent length — wall time including overlaps once.
+func (t *Timeline) Total() time.Duration {
+	lo, hi := t.Span()
+	return hi - lo
+}
+
+// String renders a compact human-readable breakdown.
+func (t *Timeline) String() string {
+	var b strings.Builder
+	for _, s := range t.Stages() {
+		fmt.Fprintf(&b, "%-24s %10.3fs → %10.3fs  (%8.3fs)\n",
+			s.Name, s.Start.Seconds(), s.End.Seconds(), s.Duration().Seconds())
+	}
+	return b.String()
+}

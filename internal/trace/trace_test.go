@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecordAndLookup(t *testing.T) {
+	var tl Timeline
+	tl.Record("weights", 1*time.Second, 2*time.Second)
+	tl.Record("tokenizer", 1*time.Second, 1500*time.Millisecond)
+	s, ok := tl.Stage("weights")
+	if !ok || s.Duration() != time.Second {
+		t.Fatalf("Stage(weights) = %+v, %v", s, ok)
+	}
+	if tl.StageDuration("missing") != 0 {
+		t.Fatal("missing stage has nonzero duration")
+	}
+	if _, ok := tl.Stage("missing"); ok {
+		t.Fatal("missing stage found")
+	}
+}
+
+func TestSpanAndTotalWithOverlap(t *testing.T) {
+	var tl Timeline
+	tl.Record("a", 0, 3*time.Second)
+	tl.Record("b", 1*time.Second, 2*time.Second) // nested in a
+	tl.Record("c", 2*time.Second, 5*time.Second)
+	lo, hi := tl.Span()
+	if lo != 0 || hi != 5*time.Second || tl.Total() != 5*time.Second {
+		t.Fatalf("Span = [%v,%v], Total = %v", lo, hi, tl.Total())
+	}
+}
+
+func TestEmptyTimeline(t *testing.T) {
+	var tl Timeline
+	if tl.Total() != 0 {
+		t.Fatal("empty total nonzero")
+	}
+	if len(tl.Stages()) != 0 {
+		t.Fatal("empty stages nonempty")
+	}
+}
+
+func TestStagesSortedByStart(t *testing.T) {
+	var tl Timeline
+	tl.Record("late", 5*time.Second, 6*time.Second)
+	tl.Record("early", 1*time.Second, 2*time.Second)
+	got := tl.Stages()
+	if got[0].Name != "early" || got[1].Name != "late" {
+		t.Fatalf("Stages order = %v", got)
+	}
+}
+
+func TestZeroLengthStageKept(t *testing.T) {
+	var tl Timeline
+	tl.Record("kv_init", time.Second, time.Second)
+	if _, ok := tl.Stage("kv_init"); !ok {
+		t.Fatal("zero-length stage dropped")
+	}
+}
+
+func TestBackwardsStagePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards stage did not panic")
+		}
+	}()
+	var tl Timeline
+	tl.Record("bad", 2*time.Second, time.Second)
+}
+
+func TestStringRendering(t *testing.T) {
+	var tl Timeline
+	tl.Record("capture", 0, 900*time.Millisecond)
+	out := tl.String()
+	if !strings.Contains(out, "capture") || !strings.Contains(out, "0.900") {
+		t.Fatalf("String = %q", out)
+	}
+}

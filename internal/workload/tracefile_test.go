@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	reqs, err := Generate(TraceConfig{Seed: 5, RPS: 8, Duration: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(reqs) {
+		t.Fatalf("round trip lost requests: %d → %d", len(reqs), len(back))
+	}
+	for i := range reqs {
+		// Arrivals round to milliseconds in the wire format.
+		if back[i].Arrival.Truncate(time.Millisecond) != reqs[i].Arrival.Truncate(time.Millisecond) {
+			t.Fatalf("request %d arrival %v != %v", i, back[i].Arrival, reqs[i].Arrival)
+		}
+		if back[i].PromptTokens != reqs[i].PromptTokens || back[i].OutputTokens != reqs[i].OutputTokens {
+			t.Fatalf("request %d lengths differ", i)
+		}
+		if back[i].ID != i {
+			t.Fatalf("request %d renumbered to %d", i, back[i].ID)
+		}
+	}
+}
+
+func TestReadTraceSortsAndSkipsBlank(t *testing.T) {
+	in := `{"arrival_ms":500,"prompt_tokens":10,"output_tokens":5}
+
+{"arrival_ms":100,"prompt_tokens":20,"output_tokens":8}
+`
+	reqs, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 || reqs[0].PromptTokens != 20 || reqs[1].PromptTokens != 10 {
+		t.Fatalf("parsed = %+v", reqs)
+	}
+}
+
+func TestReadTraceRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad json":    `{"arrival_ms":`,
+		"negative":    `{"arrival_ms":-5,"prompt_tokens":1,"output_tokens":1}`,
+		"zero prompt": `{"arrival_ms":0,"prompt_tokens":0,"output_tokens":1}`,
+		"zero output": `{"arrival_ms":0,"prompt_tokens":1,"output_tokens":0}`,
+		"empty":       ``,
+		"whitespace":  "\n\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

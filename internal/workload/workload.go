@@ -1,0 +1,162 @@
+// Package workload generates the request traces of the paper's §7.5:
+// ShareGPT-shaped conversations (average prompt 161 tokens, average
+// output 338 tokens) arriving as a Poisson process at a configurable
+// request rate.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// ShareGPT's published averages, used throughout the evaluation.
+const (
+	ShareGPTMeanPrompt = 161
+	ShareGPTMeanOutput = 338
+)
+
+// Request is one inference request.
+type Request struct {
+	// ID is the request's ordinal in the trace.
+	ID int
+	// Arrival is the request's arrival instant.
+	Arrival time.Duration
+	// PromptTokens is the prompt length.
+	PromptTokens int
+	// OutputTokens is the number of tokens to generate.
+	OutputTokens int
+}
+
+// TraceConfig parameterizes a synthetic trace.
+type TraceConfig struct {
+	// Seed makes the trace reproducible.
+	Seed int64
+	// RPS is the mean request rate (Poisson).
+	RPS float64
+	// Duration is the arrival window.
+	Duration time.Duration
+	// MeanPrompt / MeanOutput are the length means (defaults:
+	// ShareGPT's 161 / 338).
+	MeanPrompt int
+	MeanOutput int
+	// MaxPrompt / MaxOutput clamp lengths (defaults 2048 / 1024).
+	MaxPrompt int
+	MaxOutput int
+}
+
+func (c TraceConfig) withDefaults() (TraceConfig, error) {
+	if c.RPS <= 0 || c.Duration <= 0 {
+		return c, fmt.Errorf("workload: RPS %v and Duration %v must be positive", c.RPS, c.Duration)
+	}
+	if c.MeanPrompt == 0 {
+		c.MeanPrompt = ShareGPTMeanPrompt
+	}
+	if c.MeanOutput == 0 {
+		c.MeanOutput = ShareGPTMeanOutput
+	}
+	if c.MaxPrompt == 0 {
+		c.MaxPrompt = 2048
+	}
+	if c.MaxOutput == 0 {
+		c.MaxOutput = 1024
+	}
+	return c, nil
+}
+
+// lengthSigma is the log-normal shape parameter for both length
+// distributions; ShareGPT lengths are heavy-tailed.
+const lengthSigma = 0.85
+
+// sampleLen draws a log-normal length with the given mean, clamped to
+// [1, max].
+func sampleLen(rng *rand.Rand, mean, max int) int {
+	mu := math.Log(float64(mean)) - lengthSigma*lengthSigma/2
+	v := int(math.Round(math.Exp(rng.NormFloat64()*lengthSigma + mu)))
+	if v < 1 {
+		v = 1
+	}
+	if v > max {
+		v = max
+	}
+	return v
+}
+
+// Generate produces a Poisson trace.
+func Generate(cfg TraceConfig) ([]Request, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []Request
+	t := time.Duration(0)
+	for {
+		gap := time.Duration(rng.ExpFloat64() / cfg.RPS * float64(time.Second))
+		t += gap
+		if t >= cfg.Duration {
+			break
+		}
+		out = append(out, Request{
+			ID:           len(out),
+			Arrival:      t,
+			PromptTokens: sampleLen(rng, cfg.MeanPrompt, cfg.MaxPrompt),
+			OutputTokens: sampleLen(rng, cfg.MeanOutput, cfg.MaxOutput),
+		})
+	}
+	return out, nil
+}
+
+// BurstConfig shapes a bursty trace: a base rate with periodic bursts,
+// modelling the 10–20× fluctuations within 30-second windows the paper
+// cites from production LLM serving.
+type BurstConfig struct {
+	Seed       int64
+	BaseRPS    float64
+	BurstRPS   float64
+	Period     time.Duration // one base+burst cycle
+	BurstLen   time.Duration // burst portion of the cycle
+	Duration   time.Duration
+	MeanPrompt int
+	MeanOutput int
+}
+
+// GenerateBursty produces a trace alternating between base and burst
+// rates.
+func GenerateBursty(cfg BurstConfig) ([]Request, error) {
+	if cfg.Period <= 0 || cfg.BurstLen <= 0 || cfg.BurstLen >= cfg.Period {
+		return nil, fmt.Errorf("workload: burst length %v must be within period %v", cfg.BurstLen, cfg.Period)
+	}
+	base, err := Generate(TraceConfig{
+		Seed: cfg.Seed, RPS: cfg.BaseRPS, Duration: cfg.Duration,
+		MeanPrompt: cfg.MeanPrompt, MeanOutput: cfg.MeanOutput,
+	})
+	if err != nil {
+		return nil, err
+	}
+	extraRate := cfg.BurstRPS - cfg.BaseRPS
+	if extraRate < 0 {
+		return nil, fmt.Errorf("workload: burst RPS %v below base %v", cfg.BurstRPS, cfg.BaseRPS)
+	}
+	burst, err := Generate(TraceConfig{
+		Seed: cfg.Seed + 1, RPS: extraRate, Duration: cfg.Duration,
+		MeanPrompt: cfg.MeanPrompt, MeanOutput: cfg.MeanOutput,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Request
+	out = append(out, base...)
+	for _, r := range burst {
+		if r.Arrival%cfg.Period < cfg.BurstLen {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
+	for i := range out {
+		out[i].ID = i
+	}
+	return out, nil
+}
