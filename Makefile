@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short bench figures examples fuzz cover clean
+.PHONY: all build vet test test-race short bench figures examples fuzz cover clean
 
 all: build test
 
@@ -10,8 +10,16 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
+vet:
+	$(GO) vet ./...
+
 test:
 	$(GO) test ./...
+
+# Race-detect the parallel offline pipeline (analysis worker pool,
+# validation forwarding shards, artifact prefetch).
+test-race:
+	$(GO) test -race ./internal/medusa/ ./internal/engine/ ./internal/experiments/
 
 # Skip the long trace simulations and CLI integration tests.
 short:

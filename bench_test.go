@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"github.com/medusa-repro/medusa/internal/experiments"
+	"github.com/medusa-repro/medusa/internal/model"
 )
 
 // benchCtx shares offline artifacts across benchmarks.
@@ -111,3 +112,19 @@ func BenchmarkExtCaptureSizes(b *testing.B) { runExperiment(b, "ext-capturesizes
 // BenchmarkExtHotSpare quantifies §2.4's economics: hot spares per
 // model vs scale-to-zero on a shared multi-model cluster.
 func BenchmarkExtHotSpare(b *testing.B) { runExperiment(b, "ext-hotspare") }
+
+// BenchmarkOfflineZooWallclock measures the wall-clock (not simulated)
+// cost of running the offline phase for the whole ten-model zoo through
+// the parallel prefetch path — the fleet-style sweep Figure 9 and
+// Table 1 perform. A fresh context per iteration defeats the artifact
+// cache so every model's offline phase actually runs.
+func BenchmarkOfflineZooWallclock(b *testing.B) {
+	zoo := model.Zoo()
+	for i := 0; i < b.N; i++ {
+		c := experiments.NewContext()
+		if err := c.PrefetchArtifacts(zoo, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(zoo)), "models/op")
+}

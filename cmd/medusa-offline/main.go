@@ -8,6 +8,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"github.com/medusa-repro/medusa/internal/engine"
 	"github.com/medusa-repro/medusa/internal/model"
@@ -17,6 +19,7 @@ import (
 
 func main() {
 	name := flag.String("model", "", "model name (e.g. \"Qwen1.5-4B\"); empty runs the full zoo")
+	parallel := flag.Int("parallel", 0, "offline phases to run concurrently (0 = GOMAXPROCS); models are independent, output order is stable")
 	flag.Parse()
 
 	var configs []model.Config
@@ -31,27 +34,74 @@ func main() {
 		configs = []model.Config{cfg}
 	}
 
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(configs) {
+		workers = len(configs)
+	}
+
+	// Fan the per-model offline phases out across the pool (seeds are
+	// fixed per model index, so results match a sequential run), then
+	// report in zoo order.
+	type outcome struct {
+		line  string
+		stats string
+		err   error
+		name  string
+	}
 	store := storage.NewStore(storage.DefaultArray())
-	fmt.Printf("%-14s %12s %12s %12s %10s %8s\n",
-		"model", "capturing(s)", "analysis(s)", "total(s)", "nodes", "MB")
-	for i, cfg := range configs {
+	outs := make([]outcome, len(configs))
+	run := func(i int) {
+		cfg := configs[i]
 		clock := vclock.New()
 		art, report, err := engine.RunOffline(engine.OfflineOptions{
 			Model: cfg, Store: store, Seed: int64(1000 + i), Clock: clock,
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "error: %s: %v\n", cfg.Name, err)
-			os.Exit(1)
+			outs[i] = outcome{err: err, name: cfg.Name}
+			return
 		}
 		stats := art.Stats()
-		fmt.Printf("%-14s %12.2f %12.2f %12.2f %10d %8.2f\n",
-			cfg.Name,
-			report.CaptureStageDuration.Seconds(),
-			report.AnalysisDuration.Seconds(),
-			report.Total().Seconds(),
-			report.TotalNodes,
-			float64(report.ArtifactBytes)/(1<<20))
-		fmt.Printf("    params: %d pointers, %d constants; %d kernels; %d permanent buffers; stored at %q\n",
-			stats.Pointers, stats.Constants, len(art.Kernels), len(art.Permanent), report.ArtifactKey)
+		outs[i] = outcome{
+			name: cfg.Name,
+			line: fmt.Sprintf("%-14s %12.2f %12.2f %12.2f %10d %8.2f\n",
+				cfg.Name,
+				report.CaptureStageDuration.Seconds(),
+				report.AnalysisDuration.Seconds(),
+				report.Total().Seconds(),
+				report.TotalNodes,
+				float64(report.ArtifactBytes)/(1<<20)),
+			stats: fmt.Sprintf("    params: %d pointers, %d constants; %d kernels; %d permanent buffers; stored at %q\n",
+				stats.Pointers, stats.Constants, len(art.Kernels), len(art.Permanent), report.ArtifactKey),
+		}
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				run(i)
+			}
+		}()
+	}
+	for i := range configs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	fmt.Printf("%-14s %12s %12s %12s %10s %8s\n",
+		"model", "capturing(s)", "analysis(s)", "total(s)", "nodes", "MB")
+	for _, o := range outs {
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "error: %s: %v\n", o.name, o.err)
+			os.Exit(1)
+		}
+		fmt.Print(o.line)
+		fmt.Print(o.stats)
 	}
 }

@@ -3,6 +3,9 @@ package engine
 import (
 	"bytes"
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"github.com/medusa-repro/medusa/internal/cuda"
@@ -35,6 +38,15 @@ type OfflineOptions struct {
 	// NaiveFirstMatch switches the analysis to the forward first-match
 	// strawman (§4.1 ablation).
 	NaiveFirstMatch bool
+	// LinearMatch forces the O(events) linear trace walkers instead of
+	// the interval index — the reference implementation, kept for the
+	// wall-clock ablation benchmarks.
+	LinearMatch bool
+	// Parallelism caps the worker pools of the analysis stage and the
+	// validation forwarding (0 = GOMAXPROCS). The encoded artifact and
+	// the vclock timings are identical for any value: parallelism only
+	// changes wall-clock cost.
+	Parallelism int
 }
 
 // OfflineReport describes one offline run — the quantities Figure 9
@@ -102,6 +114,8 @@ func RunOffline(opts OfflineOptions) (*medusa.Artifact, *OfflineReport, error) {
 		ModelName:       opts.Model.Name,
 		NaiveFirstMatch: opts.NaiveFirstMatch,
 		SkipContents:    !opts.Model.Functional,
+		LinearMatch:     opts.LinearMatch,
+		Parallelism:     opts.Parallelism,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("engine: analysis stage: %w", err)
@@ -141,41 +155,106 @@ func RunOffline(opts OfflineOptions) (*medusa.Artifact, *OfflineReport, error) {
 // speculative artifact is restored into fresh processes (new seeds, new
 // address space) and must reproduce them bit-for-bit. Mismatches drive
 // the correction search.
+//
+// The work parallelizes on two axes. Reference forwards run on the
+// offline instance's single process (a cuda.Process is not safe for
+// concurrent use) but concurrently with the first round's speculative
+// cold starts; workers block on refsReady before comparing. Within each
+// validation round the batch sizes shard across workers, each restoring
+// the artifact into its own fresh process with a deterministically
+// derived seed. Every forward's output is a pure function of (batch,
+// step) — that is the premise of validation forwarding itself — so
+// sharding cannot change the mismatch set; merging it in sorted batch
+// order keeps ValidateAndCorrect's correction search deterministic.
 func validateArtifact(offline *Instance, art *medusa.Artifact, opts OfflineOptions) (medusa.CorrectionResult, error) {
 	const validationStep = 7
-	refs := make(map[int][]byte, len(art.Batches()))
-	for _, b := range art.Batches() {
-		out, err := offline.RunValidationForward(b, validationStep)
-		if err != nil {
-			return medusa.CorrectionResult{}, fmt.Errorf("engine: reference forwarding (batch %d): %w", b, err)
-		}
-		refs[b] = out
+	batches := art.Batches()
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	seed := opts.Seed
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	refs := make(map[int][]byte, len(batches))
+	var refsErr error
+	refsReady := make(chan struct{})
+	go func() {
+		defer close(refsReady)
+		for _, b := range batches {
+			out, err := offline.RunValidationForward(b, validationStep)
+			if err != nil {
+				refsErr = fmt.Errorf("engine: reference forwarding (batch %d): %w", b, err)
+				return
+			}
+			refs[b] = out
+		}
+	}()
+
+	round := int64(0)
 	validate := func(a *medusa.Artifact) ([]int, error) {
-		seed++
-		fresh, err := ColdStart(Options{
-			Model:        opts.Model,
-			Strategy:     StrategyMedusa,
-			Seed:         seed ^ 0x5a5a5a,
-			Store:        opts.Store,
-			Runtime:      opts.Runtime,
-			CaptureSizes: opts.CaptureSizes,
-			Artifact:     a,
-		})
-		if err != nil {
-			return nil, err
+		round++
+		type shardResult struct {
+			mismatched []int
+			err        error
+		}
+		results := make([]shardResult, workers)
+		var wg sync.WaitGroup
+		for wi := 0; wi < workers; wi++ {
+			var shard []int
+			for bi := wi; bi < len(batches); bi += workers {
+				shard = append(shard, batches[bi])
+			}
+			wg.Add(1)
+			go func(wi int, shard []int) {
+				defer wg.Done()
+				res := &results[wi]
+				fresh, err := ColdStart(Options{
+					Model:        opts.Model,
+					Strategy:     StrategyMedusa,
+					Seed:         (opts.Seed + round*int64(workers) + int64(wi)) ^ 0x5a5a5a,
+					Store:        opts.Store,
+					Runtime:      opts.Runtime,
+					CaptureSizes: opts.CaptureSizes,
+					Artifact:     a,
+				})
+				if err != nil {
+					res.err = err
+					return
+				}
+				<-refsReady
+				if refsErr != nil {
+					return // surfaced after wg.Wait
+				}
+				for _, b := range shard {
+					out, err := fresh.RunValidationForward(b, validationStep)
+					if err != nil {
+						res.err = err
+						return
+					}
+					if !bytes.Equal(out, refs[b]) {
+						res.mismatched = append(res.mismatched, b)
+					}
+				}
+			}(wi, shard)
+		}
+		wg.Wait()
+		<-refsReady
+		if refsErr != nil {
+			return nil, refsErr
 		}
 		var mismatched []int
-		for _, b := range a.Batches() {
-			out, err := fresh.RunValidationForward(b, validationStep)
-			if err != nil {
-				return nil, err
+		for _, r := range results {
+			if r.err != nil {
+				return nil, r.err
 			}
-			if !bytes.Equal(out, refs[b]) {
-				mismatched = append(mismatched, b)
-			}
+			mismatched = append(mismatched, r.mismatched...)
 		}
+		sort.Ints(mismatched)
 		return mismatched, nil
 	}
 	res, err := art.ValidateAndCorrect(validate)

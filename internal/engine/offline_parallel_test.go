@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/medusa-repro/medusa/internal/model"
+	"github.com/medusa-repro/medusa/internal/storage"
+)
+
+// TestOfflineParallelDeterminism runs the full offline phase — capture,
+// indexed analysis, parallel validation forwarding — at several
+// parallelism levels and asserts the encoded artifact bytes (the thing
+// Figure 7/8/9 consume, CRC'd and stored) are bit-identical, including
+// against the linear reference matcher.
+func TestOfflineParallelDeterminism(t *testing.T) {
+	cfg := model.TestTiny("tiny")
+	encode := func(par int, linear bool) []byte {
+		t.Helper()
+		store := storage.NewStore(storage.DefaultArray())
+		art, _, err := RunOffline(OfflineOptions{
+			Model: cfg, Store: store, Seed: 33, CaptureSizes: tinySizes,
+			Parallelism: par, LinearMatch: linear,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := art.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	want := encode(1, false)
+	for _, par := range []int{2, 8} {
+		if got := encode(par, false); !bytes.Equal(got, want) {
+			t.Fatalf("artifact bytes differ between parallelism 1 and %d", par)
+		}
+	}
+	if got := encode(1, true); !bytes.Equal(got, want) {
+		t.Fatal("indexed offline analysis produced different bytes than the linear reference")
+	}
+}
+
+// TestCorrectionSearchDeterministicUnderParallelism reruns the
+// false-positive correction scenario (a seed scalar colliding with a
+// live allocation) at several validation worker counts: the sharded
+// mismatch sets merge in sorted batch order, so the correction search
+// must demote the same parameter groups regardless of parallelism.
+func TestCorrectionSearchDeterministicUnderParallelism(t *testing.T) {
+	cfg := model.TestTiny("tricky-par")
+	cfg.TrickySeed = true
+	var want []string
+	for _, par := range []int{1, 3, 8} {
+		store := storage.NewStore(storage.DefaultArray())
+		_, report, err := RunOffline(OfflineOptions{
+			Model: cfg, Store: store, Seed: 30, CaptureSizes: tinySizes, Parallelism: par,
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		var got []string
+		for _, pg := range report.Correction.Demoted {
+			got = append(got, pg.KernelName)
+		}
+		if len(got) == 0 {
+			t.Fatalf("parallelism %d: no demotions", par)
+		}
+		if par == 1 {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("parallelism %d: demoted %v, want %v", par, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("parallelism %d: demoted %v, want %v", par, got, want)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -44,6 +45,10 @@ func NewContext() *Context {
 func (c *Context) NextSeed() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.nextSeedLocked()
+}
+
+func (c *Context) nextSeedLocked() int64 {
 	c.seed++
 	return c.seed * 7919
 }
@@ -70,6 +75,85 @@ func (c *Context) Artifact(cfg model.Config) (*medusa.Artifact, uint64, *engine.
 	c.artifacts[cfg.Name] = e
 	c.mu.Unlock()
 	return e.art, e.bytes, e.report, nil
+}
+
+// PrefetchArtifacts runs the offline phase for every not-yet-cached
+// model in parallel — the models are independent, and the paper's
+// deployment pays the offline cost once per model, so fleet-style
+// sweeps (Figure 9, Table 1) fan it out. Seeds are assigned in
+// configuration order before the fan-out, so the produced artifacts
+// are bit-identical to a sequential run of Artifact over the same
+// configs. workers <= 0 uses GOMAXPROCS.
+func (c *Context) PrefetchArtifacts(cfgs []model.Config, workers int) error {
+	type job struct {
+		cfg  model.Config
+		seed int64
+	}
+	var jobs []job
+	c.mu.Lock()
+	seen := make(map[string]bool)
+	for _, cfg := range cfgs {
+		if _, ok := c.artifacts[cfg.Name]; ok || seen[cfg.Name] {
+			continue
+		}
+		seen[cfg.Name] = true
+		jobs = append(jobs, job{cfg: cfg, seed: c.nextSeedLocked()})
+	}
+	c.mu.Unlock()
+	if len(jobs) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	errs := make([]error, len(jobs))
+	run := func(ji int) {
+		j := jobs[ji]
+		art, report, err := engine.RunOffline(engine.OfflineOptions{
+			Model: j.cfg,
+			Store: c.Store,
+			Seed:  j.seed,
+			Clock: vclock.New(),
+		})
+		if err != nil {
+			errs[ji] = fmt.Errorf("offline phase for %s: %w", j.cfg.Name, err)
+			return
+		}
+		c.mu.Lock()
+		c.artifacts[j.cfg.Name] = &artifactEntry{art: art, bytes: report.ArtifactBytes, report: report}
+		c.mu.Unlock()
+	}
+	if workers > 1 {
+		ch := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ji := range ch {
+					run(ji)
+				}
+			}()
+		}
+		for ji := range jobs {
+			ch <- ji
+		}
+		close(ch)
+		wg.Wait()
+	} else {
+		for ji := range jobs {
+			run(ji)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ColdStart launches an instance with the strategy, resolving the

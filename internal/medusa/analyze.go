@@ -3,6 +3,9 @@ package medusa
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
 
 	"github.com/medusa-repro/medusa/internal/cuda"
 	"github.com/medusa-repro/medusa/internal/dl"
@@ -39,6 +42,15 @@ type AnalyzeOptions struct {
 	// SkipContents omits permanent buffer contents (forced for
 	// cost-only devices, where there is no data plane).
 	SkipContents bool
+	// LinearMatch forces the O(events) linear walkers
+	// (backwardMatch/firstMatch) instead of the interval index — the
+	// original implementation, kept as the reference oracle for the
+	// property tests and the wall-clock ablation benchmarks.
+	LinearMatch bool
+	// Parallelism caps the per-graph analysis worker pool; 0 uses
+	// GOMAXPROCS. The encoded artifact is bit-identical for any value
+	// (the artifact is CRC'd and stored, so the merge is deterministic).
+	Parallelism int
 }
 
 // Analyze synthesizes the recorder's observations into an Artifact: the
@@ -72,55 +84,62 @@ func Analyze(rec *Recorder, proc *cuda.Process, opts AnalyzeOptions) (*Artifact,
 	}
 	art.AllocCount = allocCount
 
-	// Materialize each captured graph.
-	referenced := make(map[int]bool) // alloc indices referenced by pointers
-	for _, cg := range rec.graphs {
-		gr := GraphRecord{Batch: cg.batch}
-		for ni, node := range cg.graph.Nodes() {
-			l := cg.launches[ni]
-			nr := NodeRecord{Deps: append([]int(nil), node.Deps...)}
-
-			k, ok := proc.KernelByAddr(node.KernelAddr)
-			if !ok {
-				return nil, fmt.Errorf("medusa: graph %d node %d: no kernel at %#x", cg.batch, ni, node.KernelAddr)
-			}
-			nr.KernelName = k.Name()
-			if _, seen := art.Kernels[nr.KernelName]; !seen {
-				loc, err := locateKernel(proc.Runtime().DL(), nr.KernelName)
-				if err != nil {
-					return nil, err
+	// Materialize each captured graph. The 35 per-batch-size graphs are
+	// independent, so node/param classification fans out across a worker
+	// pool; the merge below is index-ordered, keeping the artifact
+	// bit-identical regardless of worker count.
+	var ix *TraceIndex
+	if !opts.LinearMatch {
+		ix = rec.Index()
+	}
+	outs := make([]graphAnalysis, len(rec.graphs))
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(rec.graphs) {
+		workers = len(rec.graphs)
+	}
+	if workers > 1 {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for gi := range jobs {
+					outs[gi] = analyzeGraph(rec, proc, ix, opts, gi)
 				}
-				art.Kernels[nr.KernelName] = loc
-			}
-
-			for pi, raw := range node.Params {
-				pr := ParamRecord{Raw: append([]byte(nil), raw...)}
-				if p, isPtr := looksLikePointer(raw); isPtr {
-					var idx int
-					var off uint64
-					var found bool
-					if opts.NaiveFirstMatch {
-						idx, off, found = rec.firstMatch(p)
-					} else {
-						idx, off, found = rec.backwardMatch(l.eventPos, p)
-					}
-					if found {
-						pr.Pointer = true
-						pr.AllocIndex = idx
-						pr.Offset = off
-						referenced[idx] = true
-					}
-					// A high-prefix scalar matching no allocation stays
-					// a constant: its value is not an address Medusa
-					// manages. Validation forwarding covers the case
-					// where this speculation is wrong.
-				}
-				_ = pi
-				nr.Params = append(nr.Params, pr)
-			}
-			gr.Nodes = append(gr.Nodes, nr)
+			}()
 		}
-		art.Graphs = append(art.Graphs, gr)
+		for gi := range rec.graphs {
+			jobs <- gi
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for gi := range rec.graphs {
+			outs[gi] = analyzeGraph(rec, proc, ix, opts, gi)
+		}
+	}
+
+	// Deterministic merge, in captured-graph order. The kernel table is
+	// a map (sorted at encode time) and referenced indices only feed the
+	// permanent-buffer set, so merge order cannot leak into the bytes;
+	// errors surface in graph order so failures are stable too.
+	referenced := make(map[int]bool) // alloc indices referenced by pointers
+	for gi := range outs {
+		o := &outs[gi]
+		if o.err != nil {
+			return nil, o.err
+		}
+		art.Graphs = append(art.Graphs, o.gr)
+		for idx := range o.referenced {
+			referenced[idx] = true
+		}
+		for name, loc := range o.kernels {
+			art.Kernels[name] = loc
+		}
 	}
 
 	// Buffer content classification (§4.3). Only capture-stage
@@ -134,6 +153,78 @@ func Analyze(rec *Recorder, proc *cuda.Process, opts AnalyzeOptions) (*Artifact,
 		return nil, fmt.Errorf("medusa: analysis produced inconsistent artifact: %w", err)
 	}
 	return art, nil
+}
+
+// graphAnalysis is one worker's output for one captured graph.
+type graphAnalysis struct {
+	gr         GraphRecord
+	referenced map[int]bool
+	kernels    map[string]KernelLoc
+	err        error
+}
+
+// analyzeGraph materializes one captured graph: node topology, kernel
+// locations, and constant-vs-pointer classification of every parameter
+// via the §4.1 indirect index pointer analysis. It only reads shared
+// state (the recorder's events, the index, the process's kernel and
+// symbol tables), so any number of instances may run concurrently.
+func analyzeGraph(rec *Recorder, proc *cuda.Process, ix *TraceIndex, opts AnalyzeOptions, gi int) graphAnalysis {
+	cg := rec.graphs[gi]
+	out := graphAnalysis{
+		gr:         GraphRecord{Batch: cg.batch},
+		referenced: make(map[int]bool),
+		kernels:    make(map[string]KernelLoc),
+	}
+	match := func(eventPos int, p uint64) (int, uint64, bool) {
+		switch {
+		case opts.NaiveFirstMatch && opts.LinearMatch:
+			return rec.firstMatch(p)
+		case opts.NaiveFirstMatch:
+			return ix.FirstMatch(p)
+		case opts.LinearMatch:
+			return rec.backwardMatch(eventPos, p)
+		default:
+			return ix.BackwardMatch(eventPos, p)
+		}
+	}
+	for ni, node := range cg.graph.Nodes() {
+		l := cg.launches[ni]
+		nr := NodeRecord{Deps: append([]int(nil), node.Deps...)}
+
+		k, ok := proc.KernelByAddr(node.KernelAddr)
+		if !ok {
+			out.err = fmt.Errorf("medusa: graph %d node %d: no kernel at %#x", cg.batch, ni, node.KernelAddr)
+			return out
+		}
+		nr.KernelName = k.Name()
+		if _, seen := out.kernels[nr.KernelName]; !seen {
+			loc, err := locateKernel(proc.Runtime().DL(), nr.KernelName)
+			if err != nil {
+				out.err = err
+				return out
+			}
+			out.kernels[nr.KernelName] = loc
+		}
+
+		for _, raw := range node.Params {
+			pr := ParamRecord{Raw: append([]byte(nil), raw...)}
+			if p, isPtr := looksLikePointer(raw); isPtr {
+				if idx, off, found := match(l.eventPos, p); found {
+					pr.Pointer = true
+					pr.AllocIndex = idx
+					pr.Offset = off
+					out.referenced[idx] = true
+				}
+				// A high-prefix scalar matching no allocation stays
+				// a constant: its value is not an address Medusa
+				// manages. Validation forwarding covers the case
+				// where this speculation is wrong.
+			}
+			nr.Params = append(nr.Params, pr)
+		}
+		out.gr.Nodes = append(out.gr.Nodes, nr)
+	}
+	return out
 }
 
 // locateKernel records how the online phase can find a kernel: its
@@ -222,10 +313,8 @@ func classifyPermanent(rec *Recorder, proc *cuda.Process, art *Artifact, referen
 		art.Permanent = append(art.Permanent, pr)
 	}
 	// Deterministic artifact: order by allocation index.
-	for i := 1; i < len(art.Permanent); i++ {
-		for j := i; j > 0 && art.Permanent[j-1].AllocIndex > art.Permanent[j].AllocIndex; j-- {
-			art.Permanent[j-1], art.Permanent[j] = art.Permanent[j], art.Permanent[j-1]
-		}
-	}
+	sort.Slice(art.Permanent, func(i, j int) bool {
+		return art.Permanent[i].AllocIndex < art.Permanent[j].AllocIndex
+	})
 	return nil
 }

@@ -95,6 +95,97 @@ func BenchmarkDecode1kNodes(b *testing.B) {
 	}
 }
 
+// tableScaleFixture approximates a Table-1-sized offline trace
+// (Qwen1.5-0.5B: ~9.1k graph nodes over 35 graphs, a few thousand live
+// allocations). Nodes reference buffers spread across the whole
+// allocation history, so the linear matcher's backward scan pays the
+// average-case O(events) cost the index removes.
+func tableScaleFixture(b *testing.B) (*cuda.Process, *Recorder) {
+	b.Helper()
+	const (
+		nAllocs   = 4096
+		nGraphs   = 35
+		nodesPer  = 260
+		allocSize = 1 << 12
+	)
+	rt := toyRuntime()
+	p := cuda.NewProcess(rt, vclock.New(), cuda.Config{Seed: 1, Mode: gpu.CostOnly})
+	rec := NewRecorder()
+	p.SetHooks(rec.Hooks())
+	s := p.NewStream()
+	bufs := make([]uint64, nAllocs)
+	for i := range bufs {
+		ptr, err := p.Malloc(allocSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bufs[i] = ptr
+	}
+	rec.MarkCaptureStageBegin()
+	if err := p.Launch(s, "toy_scale", []cuda.Value{
+		cuda.PtrValue(bufs[0]), cuda.PtrValue(bufs[1]), cuda.F32Value(2), cuda.U32Value(64),
+	}); err != nil {
+		b.Fatal(err)
+	}
+	pick := uint64(12345)
+	for g := 0; g < nGraphs; g++ {
+		if err := s.BeginCapture(); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < nodesPer; i++ {
+			pick = pick*6364136223846793005 + 1442695040888963407
+			dst := bufs[pick%nAllocs]
+			src := bufs[(pick>>16)%nAllocs]
+			args := []cuda.Value{cuda.PtrValue(dst), cuda.PtrValue(src), cuda.F32Value(2), cuda.U32Value(64)}
+			if err := p.Launch(s, "toy_scale", args); err != nil {
+				b.Fatal(err)
+			}
+		}
+		g2, err := s.EndCapture()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rec.AttachGraph(g+1, g2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rec.MarkCaptureStageEnd()
+	rec.RecordKV(KVRecord{NumBlocks: 1, BlockBytes: 1})
+	return p, rec
+}
+
+// BenchmarkAnalyzeWallclock measures end-to-end Analyze wall-clock time
+// on the Table-1-scale trace, comparing the pre-PR linear matcher
+// against the interval index, sequentially and with the worker pool.
+// (The index is built once and cached on the recorder; its construction
+// cost shows up in the first iteration only, as in the real offline
+// phase where one index serves all 35 graphs.)
+func BenchmarkAnalyzeWallclock(b *testing.B) {
+	p, rec := tableScaleFixture(b)
+	cases := []struct {
+		name string
+		opts AnalyzeOptions
+	}{
+		{"linear-seq", AnalyzeOptions{LinearMatch: true, Parallelism: 1}},
+		{"indexed-seq", AnalyzeOptions{Parallelism: 1}},
+		{"linear-parallel", AnalyzeOptions{LinearMatch: true}},
+		{"indexed-parallel", AnalyzeOptions{}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			opts := tc.opts
+			opts.ModelName = "bench"
+			opts.SkipContents = true
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Analyze(rec, p, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkBackwardMatch(b *testing.B) {
 	// A deep event history with the match near the end: the common case
 	// (kernels use recently allocated buffers).
@@ -107,6 +198,24 @@ func BenchmarkBackwardMatch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, ok := rec.backwardMatch(len(rec.events), target); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkBackwardMatchIndexed(b *testing.B) {
+	// Same trace and probe as BenchmarkBackwardMatch, resolved through
+	// the interval index: two binary searches instead of a linear scan.
+	rec := NewRecorder()
+	hooks := rec.Hooks()
+	for i := 0; i < 4096; i++ {
+		hooks.OnAlloc(cuda.AllocEvent{AllocIndex: i, Size: 4096, Addr: 0x7f30_0000_0000 + uint64(i)*8192})
+	}
+	target := uint64(0x7f30_0000_0000 + 4000*8192 + 128)
+	ix := rec.Index()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := ix.BackwardMatch(len(rec.events), target); !ok {
 			b.Fatal("miss")
 		}
 	}

@@ -65,6 +65,9 @@ type Recorder struct {
 	kv     KVRecord
 	kvSet  bool
 	broken error
+
+	index       *TraceIndex // cached interval index; see index.go
+	indexEvents int         // event count the cache was built from
 }
 
 // NewRecorder returns an empty recorder.
