@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race short bench figures examples fuzz cover clean
+.PHONY: all check build vet test test-race short bench figures examples fuzz cover trace-demo clean
 
 all: build test
+
+# One-stop verification: compile, vet, full tests, then race-detect the
+# concurrent packages.
+check: build test test-race
 
 build:
 	$(GO) build ./...
@@ -17,9 +21,10 @@ test:
 	$(GO) test ./...
 
 # Race-detect the parallel offline pipeline (analysis worker pool,
-# validation forwarding shards, artifact prefetch).
+# validation forwarding shards, artifact prefetch) and the traced
+# simulation stack.
 test-race:
-	$(GO) test -race ./internal/medusa/ ./internal/engine/ ./internal/experiments/
+	$(GO) test -race ./internal/medusa/ ./internal/engine/ ./internal/experiments/ ./internal/obs/ ./internal/serverless/
 
 # Skip the long trace simulations and CLI integration tests.
 short:
@@ -46,6 +51,13 @@ fuzz:
 
 cover:
 	$(GO) test -cover ./internal/...
+
+# Demonstrate the tracing layer: a short cluster simulation that writes
+# a Perfetto-loadable Chrome trace and prints the drift-free per-phase
+# cold-start breakdown.
+trace-demo:
+	mkdir -p results
+	$(GO) run ./cmd/medusa-simulate -rps 4 -duration 20 -phases -trace results/trace-demo.json
 
 clean:
 	rm -rf results

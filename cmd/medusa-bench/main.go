@@ -6,6 +6,7 @@
 //	medusa-bench -list
 //	medusa-bench -exp fig7
 //	medusa-bench -all
+//	medusa-bench -exp fig7 -trace fig7.json -phases
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"path/filepath"
 
 	"github.com/medusa-repro/medusa/internal/experiments"
+	"github.com/medusa-repro/medusa/internal/obs"
 )
 
 func main() {
@@ -23,6 +25,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	format := flag.String("format", "text", "output format: text | csv")
 	outDir := flag.String("out", "", "also write each result to <dir>/<id>.txt (the artifact's results/ layout)")
+	tracePath := flag.String("trace", "", "write the cold-start spans of the run as Chrome trace-event JSON to this file")
+	phases := flag.Bool("phases", false, "after running, print per-strategy cold-start phase breakdowns")
 	flag.Parse()
 
 	if *list {
@@ -32,6 +36,9 @@ func main() {
 		return
 	}
 	ctx := experiments.NewContext()
+	if *tracePath != "" {
+		ctx.Tracer = obs.NewTracer()
+	}
 	run := func(id string) error {
 		r, err := experiments.Run(ctx, id)
 		if err != nil {
@@ -74,5 +81,27 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *phases {
+		fmt.Println("\ncold-start phase breakdown (exclusive attribution; sums are drift-free):")
+		fmt.Print(ctx.RenderPhases())
+	}
+	if ctx.Tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := ctx.Tracer.WriteChrome(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nChrome trace written to %s (%d spans, %d tracks) — load at ui.perfetto.dev\n",
+			*tracePath, ctx.Tracer.Len(), len(ctx.Tracer.Tracks()))
 	}
 }

@@ -1,6 +1,10 @@
 // Command medusa-simulate runs the serverless cluster simulation for
 // one (model, strategy, workload) combination and prints latency
-// statistics — the building block behind Figures 10 and 11.
+// statistics — the building block behind Figures 10 and 11. With
+// -trace it also writes the run's span set as Chrome trace-event JSON
+// (loadable in Perfetto, one track per instance); with -phases it adds
+// a per-strategy cold-start phase breakdown whose per-phase sums equal
+// the end-to-end cold-start durations exactly.
 package main
 
 import (
@@ -10,7 +14,9 @@ import (
 	"time"
 
 	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/medusa"
 	"github.com/medusa-repro/medusa/internal/model"
+	"github.com/medusa-repro/medusa/internal/obs"
 	"github.com/medusa-repro/medusa/internal/serverless"
 	"github.com/medusa-repro/medusa/internal/storage"
 	"github.com/medusa-repro/medusa/internal/workload"
@@ -18,7 +24,7 @@ import (
 
 func main() {
 	modelName := flag.String("model", "Qwen1.5-4B", "model name")
-	strategyName := flag.String("strategy", "medusa", "vllm | async | nograph | medusa")
+	strategyName := flag.String("strategy", "medusa", "vllm | async | nograph | medusa | checkpoint | deferred")
 	rps := flag.Float64("rps", 10, "mean request rate (Poisson)")
 	durSec := flag.Int("duration", 60, "trace duration in seconds")
 	gpus := flag.Int("gpus", 4, "GPU count")
@@ -27,8 +33,10 @@ func main() {
 	followup := flag.Float64("followup", 0, "probability of a conversational follow-up turn (0 disables)")
 	think := flag.Duration("think", 8*time.Second, "user think time before a follow-up")
 	slo := flag.Duration("slo", time.Second, "TTFT SLO threshold to report attainment against")
-	traceIn := flag.String("trace", "", "read the request trace from a JSONL file instead of generating one")
-	traceOut := flag.String("trace-out", "", "write the generated trace to a JSONL file for replay")
+	tracePath := flag.String("trace", "", "write the run's spans as Chrome trace-event JSON to this file")
+	phases := flag.Bool("phases", false, "print per-strategy cold-start phase breakdowns (runs every paper strategy)")
+	requestsIn := flag.String("requests", "", "read the request trace from a JSONL file instead of generating one")
+	requestsOut := flag.String("requests-out", "", "write the generated request trace to a JSONL file for replay")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -44,27 +52,49 @@ func main() {
 		fail(err)
 	}
 	store := storage.NewStore(storage.DefaultArray())
-	sc := serverless.Config{
-		Model: cfg, Strategy: strategy, Store: store,
-		NumGPUs: *gpus, Prewarm: *prewarm, Seed: 1,
-	}
-	if *followup > 0 {
-		sc.FollowUp = &serverless.FollowUpModel{
-			Probability: *followup, ThinkTime: *think, MaxTurns: 6,
+
+	// artOnce runs the offline phase at most once, caching the artifact
+	// across the strategies that need it.
+	var cachedArt *medusa.Artifact
+	var cachedArtBytes uint64
+	artOnce := func() (*medusa.Artifact, uint64, error) {
+		if cachedArt != nil {
+			return cachedArt, cachedArtBytes, nil
 		}
-	}
-	if strategy == engine.StrategyMedusa {
 		fmt.Println("running offline phase (artifact not cached)...")
 		art, report, err := engine.RunOffline(engine.OfflineOptions{Model: cfg, Store: store, Seed: 7})
 		if err != nil {
-			fail(err)
+			return nil, 0, err
 		}
-		sc.Artifact = art
-		sc.ArtifactBytes = report.ArtifactBytes
+		cachedArt, cachedArtBytes = art, report.ArtifactBytes
+		return cachedArt, cachedArtBytes, nil
 	}
+	// buildConfig assembles a cluster config for one strategy.
+	buildConfig := func(s engine.Strategy) (serverless.Config, error) {
+		sc := serverless.Config{
+			Model: cfg, Strategy: s, Store: store,
+			NumGPUs: *gpus, Seed: 1,
+			Autoscale: serverless.Autoscale{Prewarm: *prewarm},
+		}
+		if *followup > 0 {
+			sc.FollowUp = &serverless.FollowUpModel{
+				Probability: *followup, ThinkTime: *think, MaxTurns: 6,
+			}
+		}
+		if s.NeedsArtifact() {
+			art, size, err := artOnce()
+			if err != nil {
+				return sc, err
+			}
+			sc.Artifact = art
+			sc.ArtifactBytes = size
+		}
+		return sc, nil
+	}
+
 	var reqs []workload.Request
-	if *traceIn != "" {
-		f, err := os.Open(*traceIn)
+	if *requestsIn != "" {
+		f, err := os.Open(*requestsIn)
 		if err != nil {
 			fail(err)
 		}
@@ -82,8 +112,8 @@ func main() {
 			fail(err)
 		}
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+	if *requestsOut != "" {
+		f, err := os.Create(*requestsOut)
 		if err != nil {
 			fail(err)
 		}
@@ -93,7 +123,17 @@ func main() {
 		if err := f.Close(); err != nil {
 			fail(err)
 		}
-		fmt.Printf("trace written to %s (%d requests)\n", *traceOut, len(reqs))
+		fmt.Printf("request trace written to %s (%d requests)\n", *requestsOut, len(reqs))
+	}
+
+	var tracer *obs.Tracer
+	sc, err := buildConfig(strategy)
+	if err != nil {
+		fail(err)
+	}
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+		sc.Tracer = tracer
 	}
 	res, err := serverless.Run(sc, reqs)
 	if err != nil {
@@ -109,4 +149,41 @@ func main() {
 	fmt.Printf("  TTFT ≤ %v:      %.1f%% of requests\n", *slo, res.TTFT.FractionBelow(*slo)*100)
 	fmt.Println("\nTTFT distribution (100ms buckets):")
 	fmt.Print(res.TTFT.Histogram(100*time.Millisecond, 50))
+
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		if err := tracer.WriteChrome(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nChrome trace written to %s (%d spans, %d tracks) — load at ui.perfetto.dev\n",
+			*tracePath, tracer.Len(), len(tracer.Tracks()))
+	}
+
+	if *phases {
+		fmt.Println("\ncold-start phase breakdown (exclusive attribution; sums are drift-free):")
+		for _, s := range engine.Strategies() {
+			psc, err := buildConfig(s)
+			if err != nil {
+				fail(err)
+			}
+			pres := res
+			if s != strategy {
+				pres, err = serverless.Run(psc, reqs)
+				if err != nil {
+					fail(err)
+				}
+			}
+			fmt.Printf("\n%v (%d cold starts, end-to-end total %.3fs):\n", s, pres.ColdStarts, pres.ColdStartTotal.Seconds())
+			fmt.Print(pres.ColdStartPhases.Table())
+			if drift := pres.ColdStartPhases.Total() - pres.ColdStartTotal; drift != 0 {
+				fail(fmt.Errorf("phase attribution drifted by %v for %v", drift, s))
+			}
+		}
+	}
 }

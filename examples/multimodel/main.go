@@ -52,9 +52,10 @@ func main() {
 			}
 			dcfg := serverless.Config{
 				Model: cfg, Strategy: strategy, Store: store,
-				Prewarm: prewarm, IdleTimeout: idle, Seed: int64(mi + 1),
+				Autoscale: serverless.Autoscale{Prewarm: prewarm, IdleTimeout: idle},
+				Seed:      int64(mi + 1),
 			}
-			if strategy == engine.StrategyMedusa {
+			if strategy.NeedsArtifact() {
 				dcfg.Artifact = medusaArtifacts[name].Artifact
 				dcfg.ArtifactBytes = medusaArtifacts[name].ArtifactBytes
 			}

@@ -53,13 +53,15 @@ func main() {
 		engine.StrategyVLLM, engine.StrategyVLLMAsync, engine.StrategyNoGraph, engine.StrategyMedusa,
 	} {
 		sc := serverless.Config{
-			Model:          cfg,
-			Strategy:       s,
-			Store:          store,
-			NumGPUs:        4,
-			Prewarm:        1,
-			InstanceTarget: 48, // aggressive scale-out so bursts spawn instances
-			IdleTimeout:    15 * time.Second,
+			Model:    cfg,
+			Strategy: s,
+			Store:    store,
+			NumGPUs:  4,
+			Autoscale: serverless.Autoscale{
+				Prewarm:        1,
+				InstanceTarget: 48, // aggressive scale-out so bursts spawn instances
+				IdleTimeout:    15 * time.Second,
+			},
 			// ShareGPT is conversational: a third of answers draw a
 			// follow-up question over the accumulated context.
 			FollowUp: &serverless.FollowUpModel{
@@ -70,7 +72,7 @@ func main() {
 			},
 			Seed: 5,
 		}
-		if s == engine.StrategyMedusa {
+		if s.NeedsArtifact() {
 			sc.Artifact = artifact
 			sc.ArtifactBytes = report.ArtifactBytes
 		}

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+
+	"github.com/medusa-repro/medusa/internal/obs"
 )
 
 // stageCapture is stage ⑤: for each of the capture batch sizes, run a
@@ -15,11 +17,13 @@ func (inst *Instance) stageCapture() error {
 	if rec != nil {
 		rec.MarkCaptureStageBegin()
 	}
+	done := inst.stageSpan("graph_capture")
 	for _, batch := range inst.opts.CaptureSizes {
 		if err := inst.warmupAndCapture(batch); err != nil {
 			return fmt.Errorf("batch %d: %w", batch, err)
 		}
 	}
+	done(obs.Attr{Key: "batch_sizes", Value: fmt.Sprint(len(inst.opts.CaptureSizes))})
 	if rec != nil {
 		rec.MarkCaptureStageEnd()
 	}

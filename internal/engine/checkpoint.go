@@ -3,6 +3,8 @@ package engine
 import (
 	"fmt"
 	"time"
+
+	"github.com/medusa-repro/medusa/internal/obs"
 )
 
 // Checkpoint/restore baseline — the §9 related-work alternative the
@@ -40,7 +42,9 @@ func TakeCheckpoint(inst *Instance) (uint64, error) {
 		kv = used
 	}
 	size := used - kv + checkpointRuntimeState
+	done := inst.stageSpan("checkpoint_write")
 	inst.opts.Store.PutSized(inst.proc.Clock(), CheckpointKey(inst.opts.Model.Name), size)
+	done(obs.Attr{Key: "bytes", Value: fmt.Sprint(size)})
 	return size, nil
 }
 

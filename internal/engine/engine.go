@@ -22,6 +22,7 @@ import (
 	"github.com/medusa-repro/medusa/internal/kvcache"
 	"github.com/medusa-repro/medusa/internal/medusa"
 	"github.com/medusa-repro/medusa/internal/model"
+	"github.com/medusa-repro/medusa/internal/obs"
 	"github.com/medusa-repro/medusa/internal/storage"
 	"github.com/medusa-repro/medusa/internal/tokenizer"
 	"github.com/medusa-repro/medusa/internal/trace"
@@ -56,45 +57,128 @@ const (
 	StrategyDeferred
 )
 
-var strategyNames = map[Strategy]string{
-	StrategyVLLM:       "vLLM",
-	StrategyVLLMAsync:  "vLLM+ASYNC",
-	StrategyNoGraph:    "w/o CUDA GRAPH",
-	StrategyMedusa:     "MEDUSA",
-	StrategyCheckpoint: "CHECKPOINT",
-	StrategyDeferred:   "DEFERRED CAPTURE",
+// StrategyInfo is a strategy's behavior-carrying descriptor. Callers
+// that used to switch on the enum (does this strategy need an
+// artifact? which stages will its timeline show? what do I type on
+// the command line?) read the descriptor instead, so adding a
+// strategy means adding one table entry, not touching four switches.
+type StrategyInfo struct {
+	// Name is the paper's display name (what String returns).
+	Name string
+	// Aliases are the command-line spellings ParseStrategy accepts in
+	// addition to Name.
+	Aliases []string
+	// Stages lists the observable cold-start stage names in timeline
+	// order (StageRuntimeInit and the composed overlap structure are
+	// orthogonal and not listed).
+	Stages []string
+	// NeedsArtifact reports that cold starts require a materialized
+	// Medusa artifact (Options.Artifact).
+	NeedsArtifact bool
+	// NeedsCheckpoint reports that cold starts require
+	// Options.CheckpointBytes from a prior TakeCheckpoint.
+	NeedsCheckpoint bool
+	// CapturesEagerly reports that serving begins with CUDA graphs in
+	// hand — captured, restored, or checkpointed during the cold start;
+	// false means serving either runs graph-less or captures lazily.
+	CapturesEagerly bool
+	// DeferredCapture reports the §2.4 lazy-capture strawman: graphs
+	// are captured on the serving path, one batch size at a time.
+	DeferredCapture bool
 }
 
+var strategyInfos = map[Strategy]StrategyInfo{
+	StrategyVLLM: {
+		Name:            "vLLM",
+		Aliases:         []string{"vllm"},
+		Stages:          []string{StageStructInit, StageWeights, StageTokenizer, StageKVInit, StageCapture},
+		CapturesEagerly: true,
+	},
+	StrategyVLLMAsync: {
+		Name:            "vLLM+ASYNC",
+		Aliases:         []string{"async", "vllm+async"},
+		Stages:          []string{StageStructInit, StageWeights, StageTokenizer, StageKVInit, StageCapture},
+		CapturesEagerly: true,
+	},
+	StrategyNoGraph: {
+		Name:    "w/o CUDA GRAPH",
+		Aliases: []string{"nograph", "no-graph"},
+		Stages:  []string{StageStructInit, StageWeights, StageTokenizer, StageKVInit},
+	},
+	StrategyMedusa: {
+		Name:            "MEDUSA",
+		Aliases:         []string{"medusa"},
+		Stages:          []string{StageStructInit, StageKVInit, StageWeights, StageTokenizer, StageCapture},
+		NeedsArtifact:   true,
+		CapturesEagerly: true,
+	},
+	StrategyCheckpoint: {
+		Name:            "CHECKPOINT",
+		Aliases:         []string{"checkpoint"},
+		Stages:          []string{StageCkptRestore},
+		NeedsCheckpoint: true,
+		CapturesEagerly: true,
+	},
+	StrategyDeferred: {
+		Name:            "DEFERRED CAPTURE",
+		Aliases:         []string{"deferred"},
+		Stages:          []string{StageStructInit, StageWeights, StageTokenizer, StageKVInit},
+		DeferredCapture: true,
+	},
+}
+
+// Info returns the strategy's descriptor (the zero StrategyInfo for an
+// unknown value; check Valid first when the input is untrusted).
+func (s Strategy) Info() StrategyInfo { return strategyInfos[s] }
+
+// Valid reports whether s is a known strategy.
+func (s Strategy) Valid() bool {
+	_, ok := strategyInfos[s]
+	return ok
+}
+
+// Stages lists the strategy's observable cold-start stage names in
+// timeline order (a copy; mutate freely).
+func (s Strategy) Stages() []string { return append([]string(nil), strategyInfos[s].Stages...) }
+
+// NeedsArtifact reports whether cold starts with this strategy require
+// a materialized artifact.
+func (s Strategy) NeedsArtifact() bool { return strategyInfos[s].NeedsArtifact }
+
 func (s Strategy) String() string {
-	if n, ok := strategyNames[s]; ok {
-		return n
+	if info, ok := strategyInfos[s]; ok {
+		return info.Name
 	}
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
-// ParseStrategy resolves a strategy by its display name (or common
-// aliases used on the command line).
+// ParseStrategy resolves a strategy by its display name or any of its
+// command-line aliases.
 func ParseStrategy(name string) (Strategy, error) {
-	switch name {
-	case "vLLM", "vllm":
-		return StrategyVLLM, nil
-	case "vLLM+ASYNC", "async", "vllm+async":
-		return StrategyVLLMAsync, nil
-	case "w/o CUDA GRAPH", "nograph", "no-graph":
-		return StrategyNoGraph, nil
-	case "MEDUSA", "medusa":
-		return StrategyMedusa, nil
-	case "CHECKPOINT", "checkpoint":
-		return StrategyCheckpoint, nil
-	case "DEFERRED CAPTURE", "deferred":
-		return StrategyDeferred, nil
+	for _, s := range AllStrategies() {
+		info := strategyInfos[s]
+		if name == info.Name {
+			return s, nil
+		}
+		for _, a := range info.Aliases {
+			if name == a {
+				return s, nil
+			}
+		}
 	}
 	return 0, fmt.Errorf("engine: unknown strategy %q", name)
 }
 
-// Strategies lists all strategies in the paper's comparison order.
+// Strategies lists the strategies in the paper's comparison order.
 func Strategies() []Strategy {
 	return []Strategy{StrategyVLLM, StrategyVLLMAsync, StrategyNoGraph, StrategyMedusa}
+}
+
+// AllStrategies lists every known strategy in declaration order,
+// including the related-work and strawman baselines.
+func AllStrategies() []Strategy {
+	return []Strategy{StrategyVLLM, StrategyVLLMAsync, StrategyNoGraph,
+		StrategyMedusa, StrategyCheckpoint, StrategyDeferred}
 }
 
 // Stage names used in cold-start timelines.
@@ -155,6 +239,21 @@ type Options struct {
 	// TriggerMode selects how Medusa's restore loads the modules that
 	// hold hidden kernels (§5).
 	TriggerMode TriggerMode
+	// Tracer, when set, receives the composed cold-start timeline as
+	// phase-tagged spans (positioned on Clock when one is set) plus
+	// internal per-stage detail spans on a "<track>/internal" lane.
+	Tracer *obs.Tracer
+	// Track names the tracer lane; empty derives
+	// "engine/<model>/<strategy>".
+	Track string
+}
+
+// trackName resolves the tracer lane for these options.
+func (o Options) trackName() string {
+	if o.Track != "" {
+		return o.Track
+	}
+	return fmt.Sprintf("engine/%s/%s", o.Model.Name, o.Strategy)
 }
 
 // TriggerMode selects the triggering-kernels implementation.
@@ -208,11 +307,12 @@ func (o Options) withDefaults() (Options, error) {
 	if o.GPUMemoryUtilization == 0 {
 		o.GPUMemoryUtilization = 0.9
 	}
-	if o.Strategy == StrategyMedusa && o.Artifact == nil {
-		return o, fmt.Errorf("engine: StrategyMedusa requires an artifact")
+	info := o.Strategy.Info()
+	if info.NeedsArtifact && o.Artifact == nil {
+		return o, fmt.Errorf("engine: %v requires an artifact", o.Strategy)
 	}
-	if o.Strategy == StrategyCheckpoint && o.CheckpointBytes == 0 {
-		return o, fmt.Errorf("engine: StrategyCheckpoint requires CheckpointBytes from TakeCheckpoint")
+	if info.NeedsCheckpoint && o.CheckpointBytes == 0 {
+		return o, fmt.Errorf("engine: %v requires CheckpointBytes from TakeCheckpoint", o.Strategy)
 	}
 	return o, nil
 }
@@ -225,6 +325,7 @@ type wsPair struct {
 // Instance is one serving instance after cold start.
 type Instance struct {
 	opts     Options
+	track    string
 	proc     *cuda.Process
 	stream   *cuda.Stream
 	tok      *tokenizer.Tokenizer
@@ -346,10 +447,11 @@ func ColdStart(opts Options) (*Instance, error) {
 		decodeDur:  make(map[int]time.Duration),
 		prefillDur: make(map[int]time.Duration),
 	}
+	inst.track = opts.trackName()
 	if opts.Recorder != nil {
 		proc.SetHooks(opts.Recorder.Hooks())
 	}
-	if opts.Strategy == StrategyMedusa {
+	if opts.Strategy.NeedsArtifact() {
 		rest, err := medusa.NewRestorer(proc, opts.Artifact)
 		if err != nil {
 			return nil, err
@@ -372,7 +474,7 @@ func ColdStart(opts Options) (*Instance, error) {
 	if err != nil {
 		return nil, fmt.Errorf("engine: tokenizer: %w", err)
 	}
-	if opts.Strategy == StrategyMedusa {
+	if opts.Strategy.NeedsArtifact() {
 		dKV = clock.Span(func() { err = inst.stageKVRestore() })
 		if err != nil {
 			return nil, fmt.Errorf("engine: KV restore: %w", err)
@@ -386,7 +488,7 @@ func ColdStart(opts Options) (*Instance, error) {
 		if err != nil {
 			return nil, fmt.Errorf("engine: KV init: %w", err)
 		}
-		if opts.Strategy != StrategyNoGraph && opts.Strategy != StrategyDeferred {
+		if opts.Strategy.Info().CapturesEagerly {
 			dCapture = clock.Span(func() { err = inst.stageCapture() })
 			if err != nil {
 				return nil, fmt.Errorf("engine: capture: %w", err)
@@ -395,10 +497,52 @@ func ColdStart(opts Options) (*Instance, error) {
 	}
 
 	inst.compose(dStruct, dWeights, dTok, dKV, dCapture)
+	base := time.Duration(0)
 	if opts.Clock != nil {
+		base = opts.Clock.Now()
 		opts.Clock.Advance(inst.timeline.Total())
 	}
+	inst.emitTimelineSpans(base)
 	return inst, nil
+}
+
+// emitTimelineSpans renders the composed cold-start timeline onto the
+// tracer: a root "cold_start" span holding one phase-tagged child per
+// observable stage, positioned at the cold start's instant on the
+// shared clock. No-op without a tracer.
+func (inst *Instance) emitTimelineSpans(base time.Duration) {
+	tr := inst.opts.Tracer
+	if tr == nil {
+		return
+	}
+	root := tr.StartSpan(inst.track, "cold_start", base).
+		Tag("cold_start").
+		Attr("strategy", inst.opts.Strategy.String()).
+		Attr("model", inst.opts.Model.Name)
+	for _, st := range inst.timeline.Stages() {
+		root.Child(st.Name, base+st.Start).Tag(st.Name).End(base + st.End)
+	}
+	root.AttrDuration("total", inst.timeline.Total())
+	root.End(base + inst.timeline.Total())
+}
+
+// stageSpan opens an internal-detail span on the instance's private
+// clock, on the "<track>/internal" lane. Stage functions call it to
+// expose sub-steps (profiling forwardings, artifact decode, module
+// triggering) that the composed timeline summarizes into one stage.
+// Nil-safe: without a tracer the returned closure is a no-op.
+func (inst *Instance) stageSpan(name string) func(attrs ...obs.Attr) {
+	if inst.opts.Tracer == nil {
+		return func(...obs.Attr) {}
+	}
+	sp := inst.opts.Tracer.StartSpan(inst.track+"/internal", name, inst.proc.Clock().Now())
+	sp.Tag(name)
+	return func(attrs ...obs.Attr) {
+		for _, a := range attrs {
+			sp.Attr(a.Key, a.Value)
+		}
+		sp.End(inst.proc.Clock().Now())
+	}
 }
 
 // compose lays the measured stage durations onto the externally

@@ -7,6 +7,7 @@ import (
 	"github.com/medusa-repro/medusa/internal/kernels"
 	"github.com/medusa-repro/medusa/internal/kvcache"
 	"github.com/medusa-repro/medusa/internal/medusa"
+	"github.com/medusa-repro/medusa/internal/obs"
 )
 
 // kvElemBytes is the element width of KV cache entries: f32 for
@@ -23,10 +24,13 @@ func (inst *Instance) kvElemBytes() int {
 // carve the KV block pool from it.
 func (inst *Instance) stageKVInit() error {
 	clock := inst.proc.Clock()
+	done := inst.stageSpan("kv_init")
 	clock.Advance(kvProfileOverhead)
+	profDone := inst.stageSpan("profiling_forward")
 	if err := inst.runProfilingForward(); err != nil {
 		return err
 	}
+	profDone()
 	// Residual memory after the worst-case forwarding, under the
 	// configured utilization cap.
 	usable := uint64(inst.opts.GPUMemoryUtilization * float64(inst.proc.Device().Config().TotalMemory))
@@ -47,7 +51,9 @@ func (inst *Instance) stageKVInit() error {
 	if inst.opts.Recorder != nil {
 		inst.opts.Recorder.RecordKV(inst.kvRecord)
 	}
-	return inst.allocKVCache()
+	err := inst.allocKVCache()
+	done(obs.Attr{Key: "blocks", Value: fmt.Sprint(numBlocks)})
+	return err
 }
 
 // allocKVCache reserves the contiguous K and V cache buffers and the
@@ -79,6 +85,7 @@ func (inst *Instance) allocKVCache() error {
 // balanced temporaries and ends with the KV cache reservations) and
 // adopt the materialized block geometry.
 func (inst *Instance) stageKVRestore() error {
+	done := inst.stageSpan("kv_restore")
 	if err := inst.restorer.ReplayPrefix(); err != nil {
 		return err
 	}
@@ -91,6 +98,7 @@ func (inst *Instance) stageKVRestore() error {
 	inst.kvRecord = inst.restorer.KV()
 	inst.kvMgr = kvcache.NewManager(inst.kvRecord.NumBlocks)
 	inst.proc.Clock().Advance(kvBlockAllocDuration)
+	done(obs.Attr{Key: "blocks", Value: fmt.Sprint(inst.kvRecord.NumBlocks)})
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"github.com/medusa-repro/medusa/internal/cuda"
 	"github.com/medusa-repro/medusa/internal/kernels"
+	"github.com/medusa-repro/medusa/internal/obs"
 )
 
 // stageGraphRestore is Medusa's replacement for the capture stage: load
@@ -15,14 +16,18 @@ import (
 func (inst *Instance) stageGraphRestore() error {
 	art := inst.opts.Artifact
 	clock := inst.proc.Clock()
+	done := inst.stageSpan("graph_restore")
 
 	// Artifact I/O and decode.
 	size := inst.opts.ArtifactBytes
 	if size == 0 {
 		size = artifactSizeEstimate(art.TotalNodes())
 	}
+	ioDone := inst.stageSpan("artifact_read_decode")
 	inst.opts.Store.ChargeRead(clock, size, 1)
 	clock.Advance(time.Duration(art.TotalNodes()) * artifactDecodePerNode)
+	ioDone(obs.Attr{Key: "bytes", Value: fmt.Sprint(size)},
+		obs.Attr{Key: "nodes", Value: fmt.Sprint(art.TotalNodes())})
 
 	if err := inst.restorer.ReplayCaptureStage(); err != nil {
 		return err
@@ -33,11 +38,15 @@ func (inst *Instance) stageGraphRestore() error {
 	if inst.opts.TriggerMode == TriggerHandwritten {
 		trigger = inst.handwrittenTrigger
 	}
+	trigDone := inst.stageSpan("trigger_and_instantiate")
 	graphs, err := inst.restorer.RestoreGraphs(trigger)
 	if err != nil {
 		return err
 	}
+	trigDone(obs.Attr{Key: "trigger", Value: inst.opts.TriggerMode.String()},
+		obs.Attr{Key: "graphs", Value: fmt.Sprint(len(graphs))})
 	inst.graphs = graphs
+	done()
 	return nil
 }
 

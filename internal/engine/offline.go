@@ -11,6 +11,7 @@ import (
 	"github.com/medusa-repro/medusa/internal/cuda"
 	"github.com/medusa-repro/medusa/internal/medusa"
 	"github.com/medusa-repro/medusa/internal/model"
+	"github.com/medusa-repro/medusa/internal/obs"
 	"github.com/medusa-repro/medusa/internal/storage"
 	"github.com/medusa-repro/medusa/internal/vclock"
 )
@@ -47,6 +48,10 @@ type OfflineOptions struct {
 	// the vclock timings are identical for any value: parallelism only
 	// changes wall-clock cost.
 	Parallelism int
+	// Tracer, when set, receives one span per offline-phase stage
+	// (capturing, analysis, validation, persistence) on the
+	// "offline/<model>" track, timed on Clock.
+	Tracer *obs.Tracer
 }
 
 // OfflineReport describes one offline run — the quantities Figure 9
@@ -101,14 +106,20 @@ func RunOffline(opts OfflineOptions) (*medusa.Artifact, *OfflineReport, error) {
 		return nil, nil, fmt.Errorf("engine: offline capturing stage: %w", err)
 	}
 	report := &OfflineReport{}
+	offTrack := "offline/" + opts.Model.Name
+	offRoot := opts.Tracer.StartSpan(offTrack, "offline_phase", opts.Clock.Now()).
+		Tag("offline_phase").Attr("model", opts.Model.Name)
 	loading := inst.LoadingDuration()
 	// The instrumented run pays interception/tracing overhead on top of
 	// a plain cold start, plus fixed tooling cost (Figure 9's roughly
 	// constant capturing stage).
 	report.CaptureStageDuration = offlineCaptureFixed +
 		time.Duration(float64(loading)*offlineCaptureFactor)
+	capSpan := offRoot.Child("capturing_stage", opts.Clock.Now()).Tag("capturing_stage")
 	opts.Clock.Advance(report.CaptureStageDuration)
+	capSpan.End(opts.Clock.Now())
 
+	anSpan := offRoot.Child("analysis", opts.Clock.Now()).Tag("analysis")
 	analysisWatch := opts.Clock.StartWatch()
 	art, err := medusa.Analyze(rec, inst.Process(), medusa.AnalyzeOptions{
 		ModelName:       opts.Model.Name,
@@ -122,6 +133,7 @@ func RunOffline(opts OfflineOptions) (*medusa.Artifact, *OfflineReport, error) {
 	}
 	report.TotalNodes = art.TotalNodes()
 	opts.Clock.Advance(time.Duration(report.TotalNodes) * analysisPerNode)
+	anSpan.AttrInt("nodes", int64(report.TotalNodes)).End(opts.Clock.Now())
 
 	if opts.Model.Functional && !opts.SkipValidation {
 		// §8 guard: referenced buffers must not themselves store device
@@ -145,8 +157,12 @@ func RunOffline(opts OfflineOptions) (*medusa.Artifact, *OfflineReport, error) {
 	}
 	report.ArtifactBytes = uint64(len(encoded))
 	report.ArtifactKey = ArtifactKey(opts.Model.Name)
+	perSpan := offRoot.Child("persist", opts.Clock.Now()).Tag("persist").
+		AttrBytes("bytes", report.ArtifactBytes)
 	opts.Store.Put(opts.Clock, report.ArtifactKey, encoded)
+	perSpan.End(opts.Clock.Now())
 	report.AnalysisDuration = analysisWatch.Elapsed()
+	offRoot.End(opts.Clock.Now())
 	return art, report, nil
 }
 

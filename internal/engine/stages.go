@@ -5,6 +5,7 @@ import (
 
 	"github.com/medusa-repro/medusa/internal/kvcache"
 	"github.com/medusa-repro/medusa/internal/model"
+	"github.com/medusa-repro/medusa/internal/obs"
 	"github.com/medusa-repro/medusa/internal/tokenizer"
 )
 
@@ -45,6 +46,8 @@ func metaSeqlenOffset(cfg model.Config, rows int) int {
 // IO buffers, and charges the Python-side construction cost.
 func (inst *Instance) stageStructInit() error {
 	cfg := inst.opts.Model
+	done := inst.stageSpan("struct_init")
+	defer done(obs.Attr{Key: "tensors", Value: fmt.Sprint(len(cfg.Tensors()))})
 	inst.proc.Clock().Advance(structInitDuration(cfg))
 	for _, spec := range cfg.Tensors() {
 		addr, err := inst.proc.Malloc(cfg.TensorBytes(spec))
@@ -113,6 +116,8 @@ func (inst *Instance) allocIO() error {
 // parameter size.
 func (inst *Instance) stageWeights() error {
 	cfg := inst.opts.Model
+	done := inst.stageSpan("weights_stream")
+	defer done(obs.Attr{Key: "bytes", Value: fmt.Sprint(cfg.LoadBytes())})
 	if cfg.Functional {
 		for _, spec := range cfg.Tensors() {
 			data := cfg.TensorData(spec)
@@ -130,6 +135,8 @@ func (inst *Instance) stageWeights() error {
 // stageTokenizer loads the model's tokenizer.
 func (inst *Instance) stageTokenizer() error {
 	cfg := inst.opts.Model
+	done := inst.stageSpan("tokenizer_load")
+	defer done()
 	inst.proc.Clock().Advance(tokenizer.LoadDuration(cfg.Vocab))
 	tok, err := tokenizer.New(cfg.Vocab)
 	if err != nil {

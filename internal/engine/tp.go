@@ -79,7 +79,7 @@ func TPColdStart(opts TPOptions) (*TPResult, error) {
 			Runtime:      opts.Runtime,
 			CaptureSizes: opts.CaptureSizes,
 		}
-		if opts.Strategy == StrategyMedusa {
+		if opts.Strategy.NeedsArtifact() {
 			art, size, err := tpRankArtifact(opts, shard, rank)
 			if err != nil {
 				return nil, err

@@ -4,11 +4,14 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"github.com/medusa-repro/medusa/internal/engine"
 	"github.com/medusa-repro/medusa/internal/medusa"
 	"github.com/medusa-repro/medusa/internal/model"
+	"github.com/medusa-repro/medusa/internal/obs"
 	"github.com/medusa-repro/medusa/internal/storage"
 	"github.com/medusa-repro/medusa/internal/vclock"
 )
@@ -18,11 +21,17 @@ import (
 // in the paper's deployment model).
 type Context struct {
 	Store *storage.Store
+	// Tracer, when set before running experiments, receives the spans
+	// of every cold start Context.ColdStart performs (parallel helpers
+	// like PrefetchArtifacts stay untraced to keep span order stable).
+	Tracer *obs.Tracer
 
 	mu        sync.Mutex
 	artifacts map[string]*artifactEntry
 	baselines map[string]*engine.Instance
 	seed      int64
+	phases    map[string]*obs.PhaseBreakdown
+	phaseTot  map[string]time.Duration
 }
 
 type artifactEntry struct {
@@ -38,6 +47,8 @@ func NewContext() *Context {
 		artifacts: make(map[string]*artifactEntry),
 		baselines: make(map[string]*engine.Instance),
 		seed:      1,
+		phases:    make(map[string]*obs.PhaseBreakdown),
+		phaseTot:  make(map[string]time.Duration),
 	}
 }
 
@@ -165,8 +176,9 @@ func (c *Context) ColdStart(cfg model.Config, strategy engine.Strategy, runtimeI
 		Seed:               c.NextSeed(),
 		Store:              c.Store,
 		IncludeRuntimeInit: runtimeInit,
+		Tracer:             c.Tracer,
 	}
-	if strategy == engine.StrategyMedusa {
+	if strategy.NeedsArtifact() {
 		art, size, _, err := c.Artifact(cfg)
 		if err != nil {
 			return nil, err
@@ -174,7 +186,54 @@ func (c *Context) ColdStart(cfg model.Config, strategy engine.Strategy, runtimeI
 		opts.Artifact = art
 		opts.ArtifactBytes = size
 	}
-	return engine.ColdStart(opts)
+	inst, err := engine.ColdStart(opts)
+	if err != nil {
+		return nil, err
+	}
+	c.recordPhases(strategy, inst)
+	return inst, nil
+}
+
+// recordPhases folds a cold start's stage timeline into the per-strategy
+// phase breakdown, attributing overlap exclusively.
+func (c *Context) recordPhases(strategy engine.Strategy, inst *engine.Instance) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strategy.String()
+	pb, ok := c.phases[key]
+	if !ok {
+		pb = obs.NewPhaseBreakdown()
+		c.phases[key] = pb
+	}
+	pb.AddExclusive(obs.TimelineIntervals(inst.Timeline(), 0))
+	c.phaseTot[key] += inst.ColdStartDuration()
+}
+
+// RenderPhases prints the per-strategy phase breakdowns accumulated
+// over every cold start the experiments performed. The per-phase sums
+// equal the summed end-to-end cold-start durations exactly; any drift
+// is reported (and would be a bug in the attribution).
+func (c *Context) RenderPhases() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.phases) == 0 {
+		return "no cold starts recorded\n"
+	}
+	keys := make([]string, 0, len(c.phases))
+	for k := range c.phases {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var w strings.Builder
+	for _, k := range keys {
+		pb := c.phases[k]
+		fmt.Fprintf(&w, "\n%s (end-to-end total %.3fs):\n", k, c.phaseTot[k].Seconds())
+		w.WriteString(pb.Table())
+		if drift := pb.Total() - c.phaseTot[k]; drift != 0 {
+			fmt.Fprintf(&w, "WARNING: phase attribution drifted by %v\n", drift)
+		}
+	}
+	return w.String()
 }
 
 // Baseline returns (and caches) a vanilla vLLM cold start of a model;

@@ -58,15 +58,17 @@ func runHotSpare(c *Context) (*Report, error) {
 				return nil, err
 			}
 			dcfg := serverless.Config{
-				Model:          cfg,
-				Strategy:       pol.strategy,
-				Store:          c.Store,
-				Prewarm:        pol.prewarm,
-				IdleTimeout:    pol.idle,
-				InstanceTarget: 64,
-				Seed:           c.NextSeed(),
+				Model:    cfg,
+				Strategy: pol.strategy,
+				Store:    c.Store,
+				Autoscale: serverless.Autoscale{
+					Prewarm:        pol.prewarm,
+					IdleTimeout:    pol.idle,
+					InstanceTarget: 64,
+				},
+				Seed: c.NextSeed(),
 			}
-			if pol.strategy == engine.StrategyMedusa {
+			if pol.strategy.NeedsArtifact() {
 				art, size, _, err := c.Artifact(cfg)
 				if err != nil {
 					return nil, err

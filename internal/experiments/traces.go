@@ -31,7 +31,7 @@ func (c *Context) simConfig(cfg model.Config, strategy engine.Strategy) (serverl
 		NumGPUs:  4,
 		Seed:     c.NextSeed(),
 	}
-	if strategy == engine.StrategyMedusa {
+	if strategy.NeedsArtifact() {
 		art, size, _, err := c.Artifact(cfg)
 		if err != nil {
 			return sc, err

@@ -22,9 +22,25 @@ func (s *Sample) Add(d time.Duration) { s.vals = append(s.vals, d) }
 // Len reports the observation count.
 func (s *Sample) Len() int { return len(s.vals) }
 
+// Quantile returns the p-quantile (0 < p ≤ 1) using the nearest-rank
+// method on a sorted copy, and false instead of a value when the
+// sample is empty or p is out of range. This is the non-panicking
+// accessor for code paths where an empty sample is a legitimate state
+// (a deployment that saw no traffic) rather than a caller bug.
+func (s *Sample) Quantile(p float64) (time.Duration, bool) {
+	if len(s.vals) == 0 || p <= 0 || p > 1 {
+		return 0, false
+	}
+	sorted := append([]time.Duration(nil), s.vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	return sorted[rank-1], true
+}
+
 // Percentile returns the p-th percentile (0 < p ≤ 100) using the
-// nearest-rank method on a sorted copy. It panics on an empty sample or
-// an out-of-range p: asking for a percentile of nothing is a caller bug.
+// nearest-rank method. It panics on an empty sample or an out-of-range
+// p: asking for a percentile of nothing is a caller bug. Quantile is
+// the non-panicking form.
 func (s *Sample) Percentile(p float64) time.Duration {
 	if len(s.vals) == 0 {
 		panic("metrics: percentile of empty sample")
@@ -32,10 +48,8 @@ func (s *Sample) Percentile(p float64) time.Duration {
 	if p <= 0 || p > 100 {
 		panic(fmt.Sprintf("metrics: percentile %v out of (0,100]", p))
 	}
-	sorted := append([]time.Duration(nil), s.vals...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
-	return sorted[rank-1]
+	d, _ := s.Quantile(p / 100)
+	return d
 }
 
 // P99 is the tail latency the paper reports.
@@ -43,6 +57,31 @@ func (s *Sample) P99() time.Duration { return s.Percentile(99) }
 
 // P50 is the median.
 func (s *Sample) P50() time.Duration { return s.Percentile(50) }
+
+// Summary is a point-in-time digest of a sample — the per-metric row a
+// registry dump or results table renders.
+type Summary struct {
+	Count                    int
+	Mean, P50, P90, P99, Max time.Duration
+}
+
+// Summary digests the sample, reporting false when it is empty.
+func (s *Sample) Summary() (Summary, bool) {
+	if len(s.vals) == 0 {
+		return Summary{}, false
+	}
+	p50, _ := s.Quantile(0.50)
+	p90, _ := s.Quantile(0.90)
+	p99, _ := s.Quantile(0.99)
+	return Summary{
+		Count: len(s.vals),
+		Mean:  s.Mean(),
+		P50:   p50,
+		P90:   p90,
+		P99:   p99,
+		Max:   s.Max(),
+	}, true
+}
 
 // Mean returns the arithmetic mean.
 func (s *Sample) Mean() time.Duration {
@@ -86,7 +125,11 @@ func (s *Sample) FractionBelow(d time.Duration) float64 {
 }
 
 // Histogram renders a compact text histogram with the given bucket
-// width — a quick look at a latency distribution's shape.
+// width — a quick look at a latency distribution's shape. An empty
+// sample or a non-positive bucket width renders as the empty string:
+// there is no distribution to draw, and callers print the result
+// verbatim, so "nothing" is the documented representation of "no
+// data" (not an error).
 func (s *Sample) Histogram(bucket time.Duration, maxWidth int) string {
 	if bucket <= 0 || len(s.vals) == 0 {
 		return ""

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureTracer builds a small but representative span set: a nested
+// cold start, an overlapping storage read, and a span on a second track
+// that starts at the same instant (exercising the Track tiebreak).
+func fixtureTracer() *Tracer {
+	tr := NewTracer()
+	root := tr.StartSpan("engine/Qwen1.5-4B/MEDUSA", "cold_start", 0)
+	root.Tag("cold_start").Attr("strategy", "MEDUSA").Attr("model", "Qwen1.5-4B")
+	st := root.Child("model_struct_init", 0)
+	st.Tag("model_struct_init").AttrInt("tensors", 271)
+	st.End(12 * time.Millisecond)
+	w := root.Child("model_weights_loading", 12*time.Millisecond)
+	w.Tag("model_weights_loading").AttrBytes("bytes", 7_864_320)
+	w.End(48 * time.Millisecond)
+	tr.RecordSpan("storage", "get", "io",
+		13*time.Millisecond, 21*time.Millisecond, Attr{Key: "bytes", Value: "1048576"})
+	root.End(60 * time.Millisecond)
+	tr.RecordSpan("deployment-0/queue", "req-1", "queued", 0, 3*time.Millisecond)
+	return tr
+}
+
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixtureTracer().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Chrome trace diverged from golden file\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteChromeIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixtureTracer().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	// One process_name + one thread_name per track + one X per span.
+	tracks := fixtureTracer().Tracks()
+	wantEvents := 1 + len(tracks) + fixtureTracer().Len()
+	if len(doc.TraceEvents) != wantEvents {
+		t.Errorf("got %d events, want %d", len(doc.TraceEvents), wantEvents)
+	}
+	meta, complete := 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if ev.Tid < 1 || ev.Tid > len(tracks) {
+				t.Errorf("event %q has tid %d outside [1,%d]", ev.Name, ev.Tid, len(tracks))
+			}
+		default:
+			t.Errorf("unexpected ph %q", ev.Ph)
+		}
+	}
+	if meta != 1+len(tracks) || complete != fixtureTracer().Len() {
+		t.Errorf("meta=%d complete=%d, want %d and %d", meta, complete, 1+len(tracks), fixtureTracer().Len())
+	}
+}
+
+func TestWriteChromeRepeatable(t *testing.T) {
+	var a, b bytes.Buffer
+	tr := fixtureTracer()
+	if err := tr.WriteChrome(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two WriteChrome calls on the same tracer produced different bytes")
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan("x", "y", 0)
+	sp.Tag("p").Attr("k", "v").AttrInt("i", 1)
+	sp.Child("c", 0).End(time.Second)
+	sp.End(time.Second)
+	tr.RecordSpan("x", "y", "p", 0, time.Second)
+	if tr.Len() != 0 || tr.Spans() != nil || tr.Tracks() != nil {
+		t.Error("nil tracer recorded state")
+	}
+	if err := tr.WriteChrome(&bytes.Buffer{}); err == nil {
+		t.Error("WriteChrome on nil tracer should error")
+	}
+}

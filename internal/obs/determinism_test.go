@@ -1,0 +1,71 @@
+// End-to-end determinism: a serverless simulation at a fixed seed must
+// produce bit-identical traces — same spans, same virtual timestamps,
+// same exporter bytes — across runs. This is the property the package
+// doc promises and the golden tests rely on; it holds because every
+// recorded instant comes from the virtual clock, never the wall clock.
+// External test package: the simulation stack imports obs.
+package obs_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/model"
+	"github.com/medusa-repro/medusa/internal/obs"
+	"github.com/medusa-repro/medusa/internal/serverless"
+	"github.com/medusa-repro/medusa/internal/storage"
+	"github.com/medusa-repro/medusa/internal/workload"
+)
+
+func traceOneRun(t *testing.T) ([]obs.SpanData, []byte) {
+	t.Helper()
+	cfg, err := model.ByName("Qwen1.5-4B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := workload.Generate(workload.TraceConfig{
+		Seed: 42, RPS: 6, Duration: 15 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer()
+	sc := serverless.Config{
+		Model:    cfg,
+		Strategy: engine.StrategyVLLM,
+		Store:    storage.NewStore(storage.DefaultArray()),
+		NumGPUs:  4,
+		Seed:     1,
+		Tracer:   tr,
+	}
+	if _, err := serverless.Run(sc, reqs); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return tr.Spans(), buf.Bytes()
+}
+
+func TestTraceDeterministicAtFixedSeed(t *testing.T) {
+	spans1, chrome1 := traceOneRun(t)
+	spans2, chrome2 := traceOneRun(t)
+	if len(spans1) == 0 {
+		t.Fatal("simulation recorded no spans")
+	}
+	if !reflect.DeepEqual(spans1, spans2) {
+		for i := range spans1 {
+			if i < len(spans2) && !reflect.DeepEqual(spans1[i], spans2[i]) {
+				t.Fatalf("span %d differs between runs:\n  run1: %+v\n  run2: %+v", i, spans1[i], spans2[i])
+			}
+		}
+		t.Fatalf("span counts differ: %d vs %d", len(spans1), len(spans2))
+	}
+	if !bytes.Equal(chrome1, chrome2) {
+		t.Error("Chrome exporter bytes differ between identical runs")
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/medusa-repro/medusa/internal/trace"
+)
+
+func TestAddExclusiveZeroDriftWithOverlap(t *testing.T) {
+	// Async-style overlap: weights stream [0,30], tokenizer [10,20]
+	// entirely inside it, kv [25,40] straddling the end.
+	ivs := []Interval{
+		{Phase: "weights", Start: 0, End: 30 * time.Millisecond},
+		{Phase: "tokenizer", Start: 10 * time.Millisecond, End: 20 * time.Millisecond},
+		{Phase: "kv", Start: 25 * time.Millisecond, End: 40 * time.Millisecond},
+	}
+	b := NewPhaseBreakdown()
+	b.AddExclusive(ivs)
+	if got, want := b.Total(), 40*time.Millisecond; got != want {
+		t.Fatalf("Total = %v, want hull extent %v", got, want)
+	}
+	// Earliest-started interval owns every covered instant: weights gets
+	// all of [0,30) (tokenizer is fully shadowed), kv only [30,40).
+	if d := b.Duration("weights"); d != 30*time.Millisecond {
+		t.Errorf("weights = %v, want 30ms", d)
+	}
+	if d := b.Duration("tokenizer"); d != 0 {
+		t.Errorf("tokenizer = %v, want 0 (shadowed by weights)", d)
+	}
+	if d := b.Duration("kv"); d != 10*time.Millisecond {
+		t.Errorf("kv = %v, want 10ms", d)
+	}
+}
+
+func TestAddExclusiveChargesGaps(t *testing.T) {
+	b := NewPhaseBreakdown()
+	b.AddExclusive([]Interval{
+		{Phase: "a", Start: 0, End: 10 * time.Millisecond},
+		{Phase: "b", Start: 30 * time.Millisecond, End: 40 * time.Millisecond},
+	})
+	if d := b.Duration(GapPhase); d != 20*time.Millisecond {
+		t.Errorf("gap = %v, want 20ms", d)
+	}
+	if got, want := b.Total(), 40*time.Millisecond; got != want {
+		t.Errorf("Total = %v, want %v", got, want)
+	}
+}
+
+func TestTimelineIntervalsRoundTrip(t *testing.T) {
+	tl := &trace.Timeline{}
+	tl.Record("struct", 0, 100*time.Millisecond)
+	tl.Record("weights", 100*time.Millisecond, 400*time.Millisecond)
+	tl.Record("tok", 150*time.Millisecond, 250*time.Millisecond)
+	b := NewPhaseBreakdown()
+	b.AddExclusive(TimelineIntervals(tl, 2*time.Second))
+	if got, want := b.Total(), tl.Total(); got != want {
+		t.Fatalf("attributed %v, timeline extent %v — drift %v", got, want, got-want)
+	}
+}
+
+func TestTableListsPhasesInFirstChargedOrder(t *testing.T) {
+	b := NewPhaseBreakdown()
+	b.Add("zeta", time.Second)
+	b.Add("alpha", time.Second)
+	tab := b.Table()
+	if zi, ai := strings.Index(tab, "zeta"), strings.Index(tab, "alpha"); zi < 0 || ai < 0 || zi > ai {
+		t.Errorf("phases not in first-charged order:\n%s", tab)
+	}
+	if !strings.Contains(tab, "TOTAL") {
+		t.Errorf("missing TOTAL row:\n%s", tab)
+	}
+}
+
+func TestRegistryCreateOnFirstUse(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Counter("c").Inc()
+	if v := r.Counter("c").Value(); v != 4 {
+		t.Errorf("counter = %d, want 4", v)
+	}
+	g := r.Gauge("g")
+	g.Update(5)
+	g.Update(2)
+	if g.Value() != 2 || g.Max() != 5 {
+		t.Errorf("gauge value=%g max=%g, want 2 and 5", g.Value(), g.Max())
+	}
+	r.Sample("s").Add(time.Second)
+	if names := r.SampleNames(); len(names) != 1 || names[0] != "s" {
+		t.Errorf("SampleNames = %v", names)
+	}
+	if out := r.Render(); !strings.Contains(out, "counter c") {
+		t.Errorf("Render missing counter:\n%s", out)
+	}
+}

@@ -16,31 +16,18 @@ import (
 	"github.com/medusa-repro/medusa/internal/medusa"
 	"github.com/medusa-repro/medusa/internal/metrics"
 	"github.com/medusa-repro/medusa/internal/model"
+	"github.com/medusa-repro/medusa/internal/obs"
 	"github.com/medusa-repro/medusa/internal/storage"
+	"github.com/medusa-repro/medusa/internal/trace"
 	"github.com/medusa-repro/medusa/internal/workload"
 )
 
-// Config parameterizes one cluster simulation.
-type Config struct {
-	// Model is the served model.
-	Model model.Config
-	// Strategy is the cold-start loading strategy.
-	Strategy engine.Strategy
-	// Store holds weights and artifacts.
-	Store *storage.Store
-	// Artifact (plus its encoded size) is required for
-	// engine.StrategyMedusa.
-	Artifact      *medusa.Artifact
-	ArtifactBytes uint64
-	// NumGPUs bounds concurrent instances (the paper's testbed has 4).
-	NumGPUs int
-	// TPDegree shards each instance tensor-parallel across this many
-	// GPUs (§8 extension). An instance then occupies TPDegree GPUs, so
-	// at most NumGPUs/TPDegree instances run concurrently. 0 or 1 means
-	// single-GPU instances.
-	TPDegree int
-	// MaxBatch bounds per-instance concurrency (vLLM max_num_seqs).
-	MaxBatch int
+// Autoscale groups the scaling policy: when instances are added, when
+// idle ones retire, and what is provisioned before the first arrival.
+// It is embedded in Config, so the historical flat field names
+// (cfg.Prewarm, cfg.IdleTimeout, …) keep working through promotion;
+// only keyed composite literals spell out the sub-struct.
+type Autoscale struct {
 	// InstanceTarget is the outstanding-request count one instance is
 	// expected to absorb before the autoscaler adds another.
 	InstanceTarget int
@@ -56,6 +43,46 @@ type Config struct {
 	// phase on top of the loading phase. 0 means an unbounded pool —
 	// the paper's setting.
 	WarmContainers int
+}
+
+// ConfigError reports one rejected Config field. Callers that need to
+// distinguish validation failures from simulation failures can
+// errors.As on it and read the field name.
+type ConfigError struct {
+	// Field is the offending Config field (promoted name).
+	Field string
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("serverless: invalid %s: %s", e.Field, e.Reason)
+}
+
+// Config parameterizes one cluster simulation.
+type Config struct {
+	// Model is the served model.
+	Model model.Config
+	// Strategy is the cold-start loading strategy.
+	Strategy engine.Strategy
+	// Store holds weights and artifacts.
+	Store *storage.Store
+	// Artifact (plus its encoded size) is required for strategies whose
+	// descriptor reports NeedsArtifact.
+	Artifact      *medusa.Artifact
+	ArtifactBytes uint64
+	// NumGPUs bounds concurrent instances (the paper's testbed has 4).
+	NumGPUs int
+	// TPDegree shards each instance tensor-parallel across this many
+	// GPUs (§8 extension). An instance then occupies TPDegree GPUs, so
+	// at most NumGPUs/TPDegree instances run concurrently. 0 or 1 means
+	// single-GPU instances.
+	TPDegree int
+	// MaxBatch bounds per-instance concurrency (vLLM max_num_seqs).
+	MaxBatch int
+	// Autoscale is the scaling policy. Its fields are promoted, so
+	// cfg.Prewarm etc. read and assign as before.
+	Autoscale
 	// AvgContextTokens is the mean sequence context assumed for decode
 	// KV-read accounting (default: ShareGPT prompt + half output).
 	AvgContextTokens int
@@ -67,6 +94,60 @@ type Config struct {
 	// Seed namespaces the profile instance's address space and the
 	// follow-up sampling.
 	Seed int64
+	// Tracer, when set, records the deployment's spans: per-instance
+	// cold starts with phase children, per-iteration serving spans, and
+	// per-request queueing. All timestamps are simulation-virtual.
+	Tracer *obs.Tracer
+}
+
+// Validate checks the configuration's invariants as-is, without
+// applying defaults, and returns a *ConfigError naming the first
+// offending field. The zero values Validate accepts are the ones
+// withDefaults later fills in.
+func (c Config) Validate() error {
+	switch {
+	case c.NumGPUs < 0:
+		return &ConfigError{Field: "NumGPUs", Reason: fmt.Sprintf("must be ≥ 0, got %d", c.NumGPUs)}
+	case c.TPDegree < 0:
+		return &ConfigError{Field: "TPDegree", Reason: fmt.Sprintf("must be ≥ 0, got %d", c.TPDegree)}
+	case c.MaxBatch < 0:
+		return &ConfigError{Field: "MaxBatch", Reason: fmt.Sprintf("must be ≥ 0, got %d", c.MaxBatch)}
+	case c.InstanceTarget < 0:
+		return &ConfigError{Field: "InstanceTarget", Reason: fmt.Sprintf("must be ≥ 0, got %d", c.InstanceTarget)}
+	case c.IdleTimeout < 0:
+		return &ConfigError{Field: "IdleTimeout", Reason: fmt.Sprintf("must be ≥ 0, got %v", c.IdleTimeout)}
+	case c.Prewarm < 0:
+		return &ConfigError{Field: "Prewarm", Reason: fmt.Sprintf("must be ≥ 0, got %d", c.Prewarm)}
+	case c.WarmContainers < 0:
+		return &ConfigError{Field: "WarmContainers", Reason: fmt.Sprintf("must be ≥ 0, got %d", c.WarmContainers)}
+	case c.AvgContextTokens < 0:
+		return &ConfigError{Field: "AvgContextTokens", Reason: fmt.Sprintf("must be ≥ 0, got %d", c.AvgContextTokens)}
+	}
+	if !c.Strategy.Valid() {
+		return &ConfigError{Field: "Strategy", Reason: fmt.Sprintf("unknown strategy %d", int(c.Strategy))}
+	}
+	if c.NumGPUs > 0 && c.TPDegree > c.NumGPUs {
+		return &ConfigError{Field: "TPDegree",
+			Reason: fmt.Sprintf("TP degree %d exceeds %d GPUs", c.TPDegree, c.NumGPUs)}
+	}
+	if fu := c.FollowUp; fu != nil {
+		if fu.Probability < 0 || fu.Probability > 1 {
+			return &ConfigError{Field: "FollowUp.Probability",
+				Reason: fmt.Sprintf("must be in [0,1], got %g", fu.Probability)}
+		}
+		if fu.ThinkTime < 0 {
+			return &ConfigError{Field: "FollowUp.ThinkTime",
+				Reason: fmt.Sprintf("must be ≥ 0, got %v", fu.ThinkTime)}
+		}
+	}
+	// Tensor-parallel instances materialize per-rank artifacts inside
+	// engine.TPColdStart; only single-GPU artifact strategies need one
+	// up front.
+	if c.Strategy.NeedsArtifact() && c.Artifact == nil && c.TPDegree <= 1 {
+		return &ConfigError{Field: "Artifact",
+			Reason: fmt.Sprintf("%v strategy requires an artifact", c.Strategy)}
+	}
+	return nil
 }
 
 // FollowUpModel parameterizes conversational follow-up turns.
@@ -84,15 +165,18 @@ type FollowUpModel struct {
 	NewTokens int
 }
 
+// withDefaults validates the raw configuration, fills zero fields with
+// the paper's defaults, and re-validates the result. Any error is a
+// *ConfigError.
 func (c Config) withDefaults() (Config, error) {
+	if err := c.Validate(); err != nil {
+		return c, err
+	}
 	if c.NumGPUs == 0 {
 		c.NumGPUs = 4
 	}
 	if c.TPDegree < 1 {
 		c.TPDegree = 1
-	}
-	if c.TPDegree > c.NumGPUs {
-		return c, fmt.Errorf("serverless: TP degree %d exceeds %d GPUs", c.TPDegree, c.NumGPUs)
 	}
 	if c.MaxBatch == 0 {
 		c.MaxBatch = model.MaxCaptureBatch()
@@ -106,12 +190,7 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Store == nil {
 		c.Store = storage.NewStore(storage.DefaultArray())
 	}
-	// Tensor-parallel instances materialize per-rank artifacts inside
-	// engine.TPColdStart; only single-GPU Medusa needs one up front.
-	if c.Strategy == engine.StrategyMedusa && c.Artifact == nil && c.TPDegree == 1 {
-		return c, fmt.Errorf("serverless: Medusa strategy requires an artifact")
-	}
-	return c, nil
+	return c, c.Validate()
 }
 
 // Result summarizes one simulation.
@@ -132,6 +211,16 @@ type Result struct {
 	ColdStarts int
 	// PeakInstances is the maximum concurrently provisioned instances.
 	PeakInstances int
+	// ColdStartPhases is the exclusive per-phase attribution of every
+	// cold start this deployment paid (runtime init, the strategy's
+	// loading stages, overlap gaps). By construction its Total equals
+	// ColdStartTotal exactly.
+	ColdStartPhases *obs.PhaseBreakdown
+	// ColdStartTotal sums the end-to-end durations of all cold starts.
+	ColdStartTotal time.Duration
+	// Metrics is the deployment's counter/gauge/sample registry; TTFT
+	// and E2E above alias its "ttft" and "e2e" samples.
+	Metrics *obs.Registry
 }
 
 // profile is the timing fingerprint of one (model, strategy) instance,
@@ -139,10 +228,14 @@ type Result struct {
 // simulated replica.
 type profile struct {
 	coldStart time.Duration
-	prefill   func(int) (time.Duration, error)
-	decode    func(int) (time.Duration, error)
-	kvPerTok  time.Duration // extra decode time per running sequence (KV reads)
-	maxKVTok  int
+	// timeline is the template cold start's observable stage layout;
+	// its extent equals coldStart, which is what keeps the per-launch
+	// phase attribution drift-free.
+	timeline *trace.Timeline
+	prefill  func(int) (time.Duration, error)
+	decode   func(int) (time.Duration, error)
+	kvPerTok time.Duration // extra decode time per running sequence (KV reads)
+	maxKVTok int
 
 	// Deferred-capture support (§2.4 strawman): graphBatch maps a
 	// batch to its capture size, ensure lazily captures on the template
@@ -177,6 +270,7 @@ func buildProfile(cfg Config) (*profile, error) {
 		bw := tp.Ranks[0].Process().Device().Config().MemBandwidth
 		return &profile{
 			coldStart: tp.LoadingDuration,
+			timeline:  tpTimeline(tp),
 			prefill:   tp.PrefillDuration,
 			decode:    tp.DecodeStepDuration,
 			kvPerTok:  time.Duration(bytesPerSeq / bw * float64(time.Second)),
@@ -201,15 +295,36 @@ func buildProfile(cfg Config) (*profile, error) {
 	kvPerTok := time.Duration(bytesPerSeq / inst.Process().Device().Config().MemBandwidth * float64(time.Second))
 	return &profile{
 		coldStart:  inst.LoadingDuration(),
+		timeline:   inst.Timeline(),
 		prefill:    inst.PrefillDuration,
 		decode:     inst.DecodeStepDuration,
 		kvPerTok:   kvPerTok,
 		maxKVTok:   inst.KVRecord().NumBlocks * 16,
-		deferred:   cfg.Strategy == engine.StrategyDeferred,
+		deferred:   cfg.Strategy.Info().DeferredCapture,
 		graphBatch: inst.GraphBatch,
 		ensure:     inst.EnsureGraphCaptured,
 		capCost:    make(map[int]time.Duration),
 	}, nil
+}
+
+// tpTimeline synthesizes the observable timeline of a tensor-parallel
+// cold start: the slowest rank's stage layout with the collective
+// bootstrap appended, so the extent equals TPResult.LoadingDuration
+// exactly and phase attribution stays drift-free.
+func tpTimeline(tp *engine.TPResult) *trace.Timeline {
+	slowest := 0
+	for i, d := range tp.RankLoading {
+		if d > tp.RankLoading[slowest] {
+			slowest = i
+		}
+	}
+	tl := &trace.Timeline{}
+	for _, st := range tp.Ranks[slowest].Timeline().Stages() {
+		tl.Record(st.Name, st.Start, st.End)
+	}
+	base := tp.RankLoading[slowest]
+	tl.Record("tp_sync_setup", base, base+tp.SyncSetup)
+	return tl
 }
 
 // captureCost returns the one-time lazy-capture cost an instance pays
@@ -301,9 +416,16 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serverless: profiling %s: %w", dep.Name, err)
 		}
+		name := dep.Name
+		if name == "" {
+			name = fmt.Sprintf("deployment-%d", di)
+		}
 		d := &depState{
 			cfg:      dcfg,
 			prof:     prof,
+			name:     name,
+			reg:      obs.NewRegistry(),
+			phases:   obs.NewPhaseBreakdown(),
 			firstArr: dep.Requests[0].Arrival,
 			rng:      rand.New(rand.NewSource(dcfg.Seed ^ 0x5eed ^ int64(di))),
 		}

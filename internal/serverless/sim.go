@@ -6,7 +6,9 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/medusa-repro/medusa/internal/engine"
 	"github.com/medusa-repro/medusa/internal/metrics"
+	"github.com/medusa-repro/medusa/internal/obs"
 	"github.com/medusa-repro/medusa/internal/workload"
 )
 
@@ -77,20 +79,29 @@ type instState struct {
 	captured map[int]bool
 }
 
-// depState is one deployment's queue, profile and metrics.
+// depState is one deployment's queue, profile and metrics. All
+// counting goes through the obs registry (samples "ttft"/"e2e",
+// counters "completed"/"cold_starts"/"iterations"/"follow_ups", gauge
+// "live_instances"); the registry itself is returned in the Result.
 type depState struct {
 	cfg  Config
 	prof *profile
+	name string
 
-	pending    []*reqState
-	ttft, e2e  metrics.Sample
-	completed  int
-	coldStarts int
-	peak       int
-	live       int
-	firstArr   time.Duration
-	lastDone   time.Duration
-	rng        *rand.Rand
+	pending  []*reqState
+	reg      *obs.Registry
+	phases   *obs.PhaseBreakdown
+	csTotal  time.Duration
+	live     int
+	firstArr time.Duration
+	lastDone time.Duration
+	rng      *rand.Rand
+}
+
+// liveChanged records the live-instance level in the gauge (its Max is
+// the Result's PeakInstances).
+func (d *depState) liveChanged() {
+	d.reg.Gauge("live_instances").Update(float64(d.live))
 }
 
 // simulation is the discrete-event state.
@@ -144,9 +155,7 @@ func (s *simulation) run() (*MultiResult, error) {
 			s.instances = append(s.instances, inst)
 			d.live++
 		}
-		if d.live > d.peak {
-			d.peak = d.live
-		}
+		d.liveChanged()
 	}
 	for i := range s.states {
 		s.schedule(s.states[i].Arrival, event{kind: evArrival, req: i})
@@ -182,6 +191,7 @@ func (s *simulation) run() (*MultiResult, error) {
 				inst.retired = true
 				inst.retiredAt = s.now
 				d.live--
+				d.liveChanged()
 				// A freed GPU may unblock another deployment's launch.
 				s.autoscaleAll()
 				if err := s.dispatchIdle(); err != nil {
@@ -200,17 +210,22 @@ func (s *simulation) run() (*MultiResult, error) {
 func (s *simulation) assemble() *MultiResult {
 	out := &MultiResult{Makespan: s.lastDone}
 	for _, d := range s.deps {
+		completed := int(d.reg.Counter("completed").Value())
+		coldStarts := int(d.reg.Counter("cold_starts").Value())
 		res := &Result{
-			TTFT:          &d.ttft,
-			E2E:           &d.e2e,
-			Completed:     d.completed,
-			Makespan:      d.lastDone - d.firstArr,
-			Throughput:    metrics.Throughput(d.completed, d.lastDone-d.firstArr),
-			ColdStarts:    d.coldStarts,
-			PeakInstances: d.peak,
+			TTFT:            d.reg.Sample("ttft"),
+			E2E:             d.reg.Sample("e2e"),
+			Completed:       completed,
+			Makespan:        d.lastDone - d.firstArr,
+			Throughput:      metrics.Throughput(completed, d.lastDone-d.firstArr),
+			ColdStarts:      coldStarts,
+			PeakInstances:   int(d.reg.Gauge("live_instances").Max()),
+			ColdStartPhases: d.phases,
+			ColdStartTotal:  d.csTotal,
+			Metrics:         d.reg,
 		}
 		out.PerDeployment = append(out.PerDeployment, res)
-		out.TotalColdStarts += d.coldStarts
+		out.TotalColdStarts += coldStarts
 	}
 	for _, inst := range s.instances {
 		end := s.lastDone
@@ -267,21 +282,42 @@ func (s *simulation) launchOne(di int) bool {
 	}
 	inst := &instState{id: len(s.instances), dep: di, idleSince: s.now, launchedAt: s.now}
 	s.instances = append(s.instances, inst)
-	d.coldStarts++
+	d.reg.Counter("cold_starts").Inc()
 	d.live++
-	if d.live > d.peak {
-		d.peak = d.live
-	}
+	d.liveChanged()
 	start := d.prof.coldStart
+	offset := s.now
+	intervals := make([]obs.Interval, 0, 8)
 	if s.warmLeft == 0 {
 		// Warm pool exhausted: this launch also initializes its
 		// execution environment (container, Python, framework).
 		start += runtimeInitDuration
+		intervals = append(intervals, obs.Interval{
+			Phase: engine.StageRuntimeInit, Start: offset, End: offset + runtimeInitDuration})
+		offset += runtimeInitDuration
 	} else if s.warmLeft > 0 {
 		s.warmLeft--
 	}
+	intervals = append(intervals, obs.TimelineIntervals(d.prof.timeline, offset)...)
+	d.phases.AddExclusive(intervals)
+	d.csTotal += start
+	if tr := d.cfg.Tracer; tr != nil {
+		root := tr.StartSpan(s.instTrack(inst), "cold_start", s.now).
+			Tag("cold_start").
+			Attr("strategy", d.cfg.Strategy.String()).
+			Attr("model", d.cfg.Model.Name)
+		for _, iv := range intervals {
+			root.Child(iv.Phase, iv.Start).Tag(iv.Phase).End(iv.End)
+		}
+		root.End(s.now + start)
+	}
 	s.schedule(s.now+start, event{kind: evInstanceReady, inst: inst.id})
 	return true
+}
+
+// instTrack names an instance's tracer lane.
+func (s *simulation) instTrack(inst *instState) string {
+	return fmt.Sprintf("%s/inst-%d", s.deps[inst.dep].name, inst.id)
 }
 
 // dispatchIdle starts iterations on ready instances that are idle and
@@ -322,6 +358,16 @@ func (s *simulation) admit(inst *instState) []*reqState {
 func (s *simulation) startIteration(inst *instState) error {
 	d := s.deps[inst.dep]
 	admitted := s.admit(inst)
+	if tr := d.cfg.Tracer; tr != nil {
+		// A request's queueing span closes when it is admitted into an
+		// instance's running batch.
+		for _, r := range admitted {
+			tr.RecordSpan(d.name+"/queue", fmt.Sprintf("req-%d", r.ID), "queued",
+				r.Arrival, s.now,
+				obs.Attr{Key: "prompt_tokens", Value: fmt.Sprint(r.PromptTokens)},
+				obs.Attr{Key: "turn", Value: fmt.Sprint(r.turn)})
+		}
+	}
 	if len(inst.running) == 0 {
 		return nil
 	}
@@ -354,6 +400,16 @@ func (s *simulation) startIteration(inst *instState) error {
 	}
 	dur += step
 	inst.iterating = true
+	d.reg.Counter("iterations").Inc()
+	if tr := d.cfg.Tracer; tr != nil {
+		phase := "decode"
+		if len(admitted) > 0 {
+			phase = "prefill+decode"
+		}
+		tr.RecordSpan(s.instTrack(inst), "iteration", phase, s.now, s.now+dur,
+			obs.Attr{Key: "batch", Value: fmt.Sprint(len(inst.running))},
+			obs.Attr{Key: "admitted", Value: fmt.Sprint(len(admitted))})
+	}
 	s.schedule(s.now+dur, event{kind: evIterationEnd, inst: inst.id})
 	return nil
 }
@@ -368,11 +424,11 @@ func (s *simulation) finishIteration(inst *instState) error {
 		r.emitted++
 		if !r.ttftSeen {
 			r.ttftSeen = true
-			d.ttft.Add(s.now - r.Arrival)
+			d.reg.Sample("ttft").Add(s.now - r.Arrival)
 		}
 		if r.emitted >= r.OutputTokens {
-			d.e2e.Add(s.now - r.Arrival)
-			d.completed++
+			d.reg.Sample("e2e").Add(s.now - r.Arrival)
+			d.reg.Counter("completed").Inc()
 			s.completed++
 			inst.kvTokens -= r.PromptTokens + r.OutputTokens
 			if s.now > d.lastDone {
@@ -424,6 +480,7 @@ func (s *simulation) maybeFollowUp(r *reqState) {
 		turn: r.turn + 1,
 	}
 	s.states = append(s.states, next)
+	d.reg.Counter("follow_ups").Inc()
 	s.schedule(next.Arrival, event{kind: evArrival, req: next.ID})
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/medusa-repro/medusa/internal/obs"
 	"github.com/medusa-repro/medusa/internal/vclock"
 )
 
@@ -47,6 +48,31 @@ type Store struct {
 	mu      sync.Mutex
 	objects map[string][]byte
 	sizes   map[string]uint64 // declared sizes for content-free objects
+	tracer  *obs.Tracer
+}
+
+// SetTracer attaches a tracer: every Put/Get/ChargeRead records a span
+// on the "storage" track, timed on the clock the operation advances.
+// Span order follows call order, so deterministic traces require the
+// instrumented operations to run from one goroutine (parallel offline
+// helpers should leave the tracer unset).
+func (s *Store) SetTracer(t *obs.Tracer) {
+	s.mu.Lock()
+	s.tracer = t
+	s.mu.Unlock()
+}
+
+// ioSpan records one storage operation on the clock's timeline.
+func (s *Store) ioSpan(clock *vclock.Clock, op, object string, start time.Duration, bytes uint64) {
+	s.mu.Lock()
+	tr := s.tracer
+	s.mu.Unlock()
+	if tr == nil {
+		return
+	}
+	tr.RecordSpan("storage", op, op, start, clock.Now(),
+		obs.Attr{Key: "object", Value: object},
+		obs.Attr{Key: "bytes", Value: fmt.Sprint(bytes)})
 }
 
 // NewStore creates a store on the given array.
@@ -59,7 +85,9 @@ func (s *Store) Array() Array { return s.arr }
 
 // Put writes an object, charging write time on the clock.
 func (s *Store) Put(clock *vclock.Clock, name string, data []byte) {
+	start := clock.Now()
 	clock.Advance(s.arr.WriteDuration(uint64(len(data))))
+	s.ioSpan(clock, "put", name, start, uint64(len(data)))
 	cp := append([]byte(nil), data...)
 	s.mu.Lock()
 	s.objects[name] = cp
@@ -71,7 +99,9 @@ func (s *Store) Put(clock *vclock.Clock, name string, data []byte) {
 // multi-gigabyte weight files whose bytes are generated on demand.
 // Charges write time for the full size.
 func (s *Store) PutSized(clock *vclock.Clock, name string, size uint64) {
+	start := clock.Now()
 	clock.Advance(s.arr.WriteDuration(size))
+	s.ioSpan(clock, "put", name, start, size)
 	s.mu.Lock()
 	s.objects[name] = nil
 	s.sizes[name] = size
@@ -87,7 +117,9 @@ func (s *Store) Get(clock *vclock.Clock, name string) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("storage: object %q not found", name)
 	}
+	start := clock.Now()
 	clock.Advance(s.arr.ReadDuration(size))
+	s.ioSpan(clock, "get", name, start, size)
 	if data == nil {
 		return nil, nil
 	}
@@ -124,6 +156,8 @@ func (s *Store) ChargeRead(clock *vclock.Clock, n uint64, slowdown float64) {
 	if slowdown < 1 {
 		slowdown = 1
 	}
+	start := clock.Now()
 	d := s.arr.ReadDuration(n)
 	clock.Advance(time.Duration(float64(d) * slowdown))
+	s.ioSpan(clock, "stream_read", "", start, n)
 }
