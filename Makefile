@@ -2,29 +2,35 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race short bench figures examples fuzz cover trace-demo clean
+.PHONY: all check build vet lint test test-race short bench figures examples fuzz cover trace-demo clean
 
 all: build test
 
-# One-stop verification: compile, vet, full tests, then race-detect the
-# concurrent packages.
-check: build test test-race
+# One-stop verification: compile, vet, lint the determinism invariants,
+# full tests, then race-detect everything.
+check: build vet lint test test-race
 
 build:
 	$(GO) build ./...
-	$(GO) vet ./...
 
 vet:
 	$(GO) vet ./...
 
+# medusalint enforces the simulator's determinism and capture-safety
+# invariants (wallclock, seededrand, maporder, capturesync); see
+# DESIGN.md §8 for the invariant-to-analyzer mapping.
+lint:
+	$(GO) run ./cmd/medusalint ./...
+
 test:
 	$(GO) test ./...
 
-# Race-detect the parallel offline pipeline (analysis worker pool,
-# validation forwarding shards, artifact prefetch) and the traced
-# simulation stack.
+# Race-detect the whole tree: the parallel offline pipeline (analysis
+# worker pool, validation forwarding shards, artifact prefetch) and the
+# traced simulation stack are the interesting packages, but nothing is
+# exempt.
 test-race:
-	$(GO) test -race ./internal/medusa/ ./internal/engine/ ./internal/experiments/ ./internal/obs/ ./internal/serverless/
+	$(GO) test -race ./...
 
 # Skip the long trace simulations and CLI integration tests.
 short:
@@ -47,6 +53,7 @@ examples:
 
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecode -fuzztime 30s ./internal/medusa/
+	$(GO) test -run xxx -fuzz FuzzArtifactRoundTrip -fuzztime 30s ./internal/medusa/
 	$(GO) test -run xxx -fuzz FuzzEncodeDecode -fuzztime 30s ./internal/tokenizer/
 
 cover:

@@ -1,0 +1,58 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface that the medusalint
+// analyzers need. The container this repository grows in has no module
+// proxy access, so instead of vendoring x/tools we re-declare the three
+// types the analyzers program against: Analyzer, Pass, and Diagnostic.
+// The shapes match x/tools deliberately — if the real dependency ever
+// becomes available, the analyzers compile against it after changing
+// one import line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static-analysis pass and its entry point.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -run filters, and
+	// //medusalint:allow comments. By convention lowercase, no spaces.
+	Name string
+
+	// Doc is the analyzer's documentation: first line is a summary,
+	// the rest explains the enforced invariant.
+	Doc string
+
+	// Run applies the analyzer to a single package.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer run with a single type-checked package
+// and a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The runner installs this; it
+	// applies the //medusalint:allow suppression before recording.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}

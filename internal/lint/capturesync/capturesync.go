@@ -1,0 +1,171 @@
+// Package capturesync defines a medusalint analyzer that turns the
+// runtime CaptureInvalidatedError contract (internal/cuda/errors.go)
+// into a compile-time check. Per Medusa §2.3, synchronization and lazy
+// module loading are prohibited while a stream capture is active: real
+// CUDA invalidates the capture, and the simulator faithfully returns
+// CaptureInvalidatedError. That is a runtime tripwire — it only fires
+// on the path that actually executes. This analyzer flags the hazard
+// statically.
+//
+// Within each function that calls BeginCapture, every call lexically
+// between BeginCapture and the matching EndCapture is checked: calls
+// whose callee is a synchronization or module-loading operation
+// (Synchronize, DeviceSynchronize, StreamSynchronize,
+// EventSynchronize, LoadModule, ModuleLoad, ensureModuleLoaded), or a
+// same-package function that transitively reaches one, are reported.
+// The package-local call graph provides the transitive step;
+// cross-package helpers are matched by callee name only — the
+// deliberate limitation that keeps the pass modular (the runtime check
+// remains the backstop, exactly as §2.3's warm-up-before-capture
+// discipline requires).
+package capturesync
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"github.com/medusa-repro/medusa/internal/lint/analysis"
+	"github.com/medusa-repro/medusa/internal/lint/lintutil"
+)
+
+// Analyzer is the capturesync pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "capturesync",
+	Doc:  "forbid synchronization and module loading between BeginCapture and EndCapture",
+	Run:  run,
+}
+
+// syncNames are the operations prohibited during stream capture.
+var syncNames = map[string]bool{
+	"Synchronize":        true,
+	"DeviceSynchronize":  true,
+	"StreamSynchronize":  true,
+	"EventSynchronize":   true,
+	"LoadModule":         true,
+	"ModuleLoad":         true,
+	"ensureModuleLoaded": true,
+}
+
+const (
+	beginName = "BeginCapture"
+	endName   = "EndCapture"
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	// Fixpoint taint over the package-local call graph: a local
+	// function is tainted if it directly performs a prohibited
+	// operation or calls a tainted local function.
+	graph := lintutil.LocalCallGraph(pass.Pkg, pass.TypesInfo, pass.Files)
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn := lintutil.FuncObj(pass.TypesInfo, fd); fn != nil {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	tainted := make(map[*types.Func]string) // local func -> prohibited op it reaches
+	for fn, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := lintutil.Callee(pass.TypesInfo, call); callee != nil && syncNames[callee.Name()] {
+				tainted[fn] = callee.Name()
+				return false
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range decls {
+			if _, done := tainted[fn]; done {
+				continue
+			}
+			for _, callee := range graph[fn] {
+				if op, ok := tainted[callee]; ok {
+					tainted[fn] = op
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, fd := range decls {
+		checkFunc(pass, fd, tainted)
+	}
+	return nil, nil
+}
+
+// marker is one BeginCapture/EndCapture call site.
+type marker struct {
+	pos   int // byte offset, for lexical ordering
+	begin bool
+}
+
+// checkFunc scans one function: if it opens a capture, every call in
+// the lexical capture region is checked against the taint set.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, tainted map[*types.Func]string) {
+	if lintutil.IsTestFile(pass.Fset, fd.Pos()) {
+		return
+	}
+	var markers []marker
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := lintutil.Callee(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		switch callee.Name() {
+		case beginName:
+			markers = append(markers, marker{int(call.Pos()), true})
+		case endName:
+			markers = append(markers, marker{int(call.Pos()), false})
+		}
+		return true
+	})
+	if len(markers) == 0 {
+		return
+	}
+	sort.Slice(markers, func(i, j int) bool { return markers[i].pos < markers[j].pos })
+
+	inCapture := func(pos int) bool {
+		state := false
+		for _, m := range markers {
+			if m.pos >= pos {
+				break
+			}
+			state = m.begin
+		}
+		return state
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := lintutil.Callee(pass.TypesInfo, call)
+		if callee == nil || callee.Name() == beginName || callee.Name() == endName {
+			return true
+		}
+		if !inCapture(int(call.Pos())) {
+			return true
+		}
+		if syncNames[callee.Name()] {
+			pass.Reportf(call.Pos(), "%s during stream capture: synchronization and module loading invalidate the capture (CaptureInvalidatedError, Medusa §2.3); warm up before BeginCapture", callee.Name())
+		} else if op, ok := tainted[callee]; ok && callee.Pkg() == pass.Pkg {
+			pass.Reportf(call.Pos(), "%s reaches %s during stream capture: synchronization and module loading invalidate the capture (CaptureInvalidatedError, Medusa §2.3); warm up before BeginCapture", callee.Name(), op)
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package capturesync_test
+
+import (
+	"testing"
+
+	"github.com/medusa-repro/medusa/internal/lint/analysistest"
+	"github.com/medusa-repro/medusa/internal/lint/capturesync"
+)
+
+func TestCaptureSync(t *testing.T) {
+	analysistest.Run(t, capturesync.Analyzer, "capturesync")
+}

@@ -1,0 +1,72 @@
+// Package capturesync's testdata mirrors the internal/cuda capture API
+// by name: Stream.BeginCapture/EndCapture bracket a capture, and
+// synchronization or module loading inside the bracket invalidates it.
+package capturesync
+
+// Stream mimics cuda.Stream.
+type Stream struct{}
+
+func (s *Stream) BeginCapture() error { return nil }
+func (s *Stream) EndCapture() error   { return nil }
+func (s *Stream) Synchronize() error  { return nil }
+func (s *Stream) Launch(name string)  {}
+
+// Process mimics cuda.Process.
+type Process struct{}
+
+func (p *Process) DeviceSynchronize() error { return nil }
+func (p *Process) LoadModule(name string)   {}
+
+// BadDirect synchronizes and lazily loads mid-capture: both calls
+// would return CaptureInvalidatedError at runtime.
+func BadDirect(s *Stream, p *Process) error {
+	if err := s.BeginCapture(); err != nil {
+		return err
+	}
+	s.Launch("gemm_f16")
+	if err := s.Synchronize(); err != nil { // want `Synchronize during stream capture`
+		return err
+	}
+	p.LoadModule("libattn") // want `LoadModule during stream capture`
+	return s.EndCapture()
+}
+
+// BadTransitive reaches synchronization through a same-package helper:
+// the package-local call graph closes the gap.
+func BadTransitive(s *Stream, p *Process) error {
+	if err := s.BeginCapture(); err != nil {
+		return err
+	}
+	drain(p) // want `drain reaches DeviceSynchronize during stream capture`
+	return s.EndCapture()
+}
+
+func drain(p *Process) { _ = p.DeviceSynchronize() }
+
+// Good is the §2.3 discipline: warm up (loading modules, draining the
+// stream) strictly before BeginCapture, sync again only after
+// EndCapture.
+func Good(s *Stream, p *Process) error {
+	p.LoadModule("libgemm")
+	if err := s.Synchronize(); err != nil {
+		return err
+	}
+	if err := s.BeginCapture(); err != nil {
+		return err
+	}
+	s.Launch("gemm_f16")
+	if err := s.EndCapture(); err != nil {
+		return err
+	}
+	return p.DeviceSynchronize()
+}
+
+// AllowedProbe demonstrates the escape hatch for code that tests the
+// invalidation contract itself.
+func AllowedProbe(s *Stream) error {
+	if err := s.BeginCapture(); err != nil {
+		return err
+	}
+	_ = s.Synchronize() //medusalint:allow capturesync(deliberately invalidates the capture to exercise the error path)
+	return s.EndCapture()
+}

@@ -1,0 +1,242 @@
+// Package loader type-checks Go packages for medusalint using only the
+// standard library and the go command. It shells out to
+// `go list -deps -export -json`, which compiles (or reuses from the
+// build cache) gc export data for every dependency, then parses the
+// target packages from source and type-checks them with an export-data
+// importer. This is the same strategy x/tools' go/packages uses in
+// NeedTypes mode, reimplemented small because this repository builds
+// with zero external modules.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// golist runs `go list -deps -export -json` in dir for the given
+// patterns and decodes the JSON object stream.
+func golist(dir string, patterns ...string) ([]listPkg, error) {
+	args := []string{
+		"list", "-deps", "-export",
+		"-json=Dir,ImportPath,GoFiles,Export,Standard,DepOnly,Error",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("loader: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Exports resolves import paths to gc export-data files. It backs the
+// types.Importer used for every type-check.
+type Exports map[string]string
+
+// ExportsFor builds an export index covering the given import paths and
+// all of their dependencies. dir must be inside the module so the go
+// command can resolve module-internal paths.
+func ExportsFor(dir string, importPaths ...string) (Exports, error) {
+	if len(importPaths) == 0 {
+		return Exports{}, nil
+	}
+	pkgs, err := golist(dir, importPaths...)
+	if err != nil {
+		return nil, err
+	}
+	ex := make(Exports, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			ex[p.ImportPath] = p.Export
+		}
+	}
+	return ex, nil
+}
+
+// Importer returns a types.Importer reading from the export index.
+func (ex Exports) Importer(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := ex[path]
+		if !ok {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// NewInfo returns a types.Info with every map analyzers consume.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// CheckFiles parses and type-checks one package from explicit files.
+// Imports resolve through the export index; the package's own sources
+// are never required to have export data.
+func CheckFiles(fset *token.FileSet, imp types.Importer, importPath string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	cfg := &types.Config{Importer: imp}
+	tpkg, err := cfg.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        filepath.Dir(filenames[0]),
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// Load type-checks every package matching the patterns (for example
+// "./...") relative to dir. Only non-test sources are analyzed: the
+// determinism invariants bind the simulator, not its tests, and the
+// analyzers additionally exempt _test.go files loaded by other means.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := golist(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	ex := make(Exports, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			ex[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := ex.Importer(fset)
+
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("loader: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		filenames := make([]string, 0, len(p.GoFiles))
+		for _, f := range p.GoFiles {
+			filenames = append(filenames, filepath.Join(p.Dir, f))
+		}
+		pkg, err := CheckFiles(fset, imp, p.ImportPath, filenames)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = p.Dir
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// LoadDir parses and type-checks every .go file in one directory as a
+// single package named after the directory — the analysistest loader.
+// Files whose names end in _test.go are included (package-level test
+// files exercise the analyzers' test-file exemptions); external test
+// packages (package foo_test) are not supported.
+func LoadDir(dir string, moduleDir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %v", err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("loader: no .go files in %s", dir)
+	}
+	sort.Strings(filenames)
+
+	// Pre-parse to discover imports, then build the export index for
+	// exactly those paths.
+	fset := token.NewFileSet()
+	seen := map[string]bool{}
+	var imports []string
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %v", err)
+		}
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if !seen[path] {
+				seen[path] = true
+				imports = append(imports, path)
+			}
+		}
+	}
+	sort.Strings(imports)
+	ex, err := ExportsFor(moduleDir, imports...)
+	if err != nil {
+		return nil, err
+	}
+	fset = token.NewFileSet()
+	return CheckFiles(fset, ex.Importer(fset), filepath.Base(dir), filenames)
+}

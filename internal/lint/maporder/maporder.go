@@ -1,0 +1,185 @@
+// Package maporder defines a medusalint analyzer that guards the
+// "bit-identical artifacts" guarantee: inside any function reachable
+// from a serialization or export entry point, ranging over a map with
+// order-dependent effects is forbidden, because Go randomizes map
+// iteration order per run. This is exactly the hazard class that would
+// let two offline passes at different worker counts produce artifacts
+// that hash differently (PR 1's core invariant) or let a Chrome trace
+// export reorder between runs.
+//
+// Entry points are identified by name: functions matching
+// (?i)^(encode|marshal|write|export|hash|fingerprint|digest|render|
+// table|dump|chrome|append) — the wire.go encoders, the obs exporters,
+// the phase tables, artifact hashing. Reachability is computed over the
+// package-local static call graph.
+//
+// Two loop shapes are recognized as order-insensitive and exempted:
+//
+//   - collect-then-sort: every statement appends to a slice
+//     (for k := range m { keys = append(keys, k) } … sort.Strings(keys));
+//   - commutative integer accumulation: += / |= / ^= / &= or ++/--
+//     on integer-kinded values (sums of time.Duration, counters).
+//
+// Floating-point accumulation is deliberately NOT exempt: float
+// addition is not associative, so summing map values in random order
+// produces run-to-run ULP drift that CRCs and golden files catch.
+// Anything else needs an explicit sort or a justified
+// //medusalint:allow maporder(...) directive.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"github.com/medusa-repro/medusa/internal/lint/analysis"
+	"github.com/medusa-repro/medusa/internal/lint/lintutil"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "forbid order-dependent map iteration in functions reachable from serialization entry points",
+	Run:  run,
+}
+
+// EntryPattern matches the names of serialization/export entry points.
+// It is a package variable so the driver could expose a flag for it.
+var EntryPattern = regexp.MustCompile(`(?i)^(encode|marshal|write|export|hash|fingerprint|digest|render|table|dump|chrome|append)`)
+
+func run(pass *analysis.Pass) (any, error) {
+	// Map declared functions to their bodies and find the entry roots.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	var roots []*types.Func
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := lintutil.FuncObj(pass.TypesInfo, fd)
+			if fn == nil {
+				continue
+			}
+			decls[fn] = fd
+			if EntryPattern.MatchString(fd.Name.Name) {
+				roots = append(roots, fn)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil, nil
+	}
+
+	// BFS over the package-local call graph, remembering which entry
+	// point first reached each function (for the diagnostic).
+	graph := lintutil.LocalCallGraph(pass.Pkg, pass.TypesInfo, pass.Files)
+	origin := make(map[*types.Func]*types.Func, len(roots))
+	queue := make([]*types.Func, 0, len(roots))
+	for _, r := range roots {
+		origin[r] = r
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range graph[fn] {
+			if _, seen := origin[callee]; !seen {
+				origin[callee] = origin[fn]
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	for fn, root := range origin {
+		fd, ok := decls[fn]
+		if !ok {
+			continue
+		}
+		rootName := root.Name()
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitive(pass.TypesInfo, rs.Body) {
+				return true
+			}
+			if fn == root {
+				pass.Reportf(rs.Pos(), "range over map in serialization entry point %s: iteration order is randomized and leaks into the output; collect keys and sort first", rootName)
+			} else {
+				pass.Reportf(rs.Pos(), "range over map in %s, reachable from serialization entry point %s: iteration order is randomized and leaks into the output; collect keys and sort first", fn.Name(), rootName)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// orderInsensitive reports whether every statement in a range body is a
+// shape whose cumulative effect cannot depend on iteration order.
+func orderInsensitive(info *types.Info, body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if !appendAssign(info, s) && !integerAccum(info, s) {
+				return false
+			}
+		case *ast.IncDecStmt:
+			if !isIntegerKind(info.TypeOf(s.X)) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// appendAssign matches `xs = append(xs, …)` — the collect-then-sort
+// idiom's first half.
+func appendAssign(info *types.Info, s *ast.AssignStmt) bool {
+	if s.Tok != token.ASSIGN || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// integerAccum matches commutative compound assignment on integers:
+// += |= ^= &= (float += is order-sensitive and stays flagged).
+func integerAccum(info *types.Info, s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.AND_ASSIGN:
+	default:
+		return false
+	}
+	return len(s.Lhs) == 1 && isIntegerKind(info.TypeOf(s.Lhs[0]))
+}
+
+func isIntegerKind(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"github.com/medusa-repro/medusa/internal/lint/analysistest"
+	"github.com/medusa-repro/medusa/internal/lint/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "maporder")
+}

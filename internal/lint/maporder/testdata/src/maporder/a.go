@@ -1,0 +1,86 @@
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EncodeState is an entry point (Encode prefix) ranging a map straight
+// into its output: the canonical violation.
+func EncodeState(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m { // want `range over map in serialization entry point EncodeState`
+		fmt.Fprintf(&b, "%s=%d\n", k, v)
+	}
+	return b.String()
+}
+
+// WriteSummary leaks map order through a helper: the call graph makes
+// emit reachable from a serialization entry point.
+func WriteSummary(m map[string]int) string { return emit(m) }
+
+func emit(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `range over map in emit, reachable from serialization entry point WriteSummary`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// HashSorted is the sanctioned idiom: collect keys, sort, then emit.
+func HashSorted(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.String()
+}
+
+// ExportTotal sums integers: addition on integers commutes exactly, so
+// iteration order cannot reach the output.
+func ExportTotal(m map[string]int64) int64 {
+	var total int64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// ExportMean sums floats: float addition is not associative, so random
+// iteration order produces run-to-run ULP drift — flagged.
+func ExportMean(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `range over map in serialization entry point ExportMean`
+		total += v
+	}
+	return total / float64(len(m))
+}
+
+// pickBest is not reachable from any serialization entry point, so its
+// order-dependent-looking loop is out of scope.
+func pickBest(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// DumpAllowed demonstrates the escape hatch: the mixing assignment is
+// order-dependent in general, but this output feeds a debug log that is
+// never hashed or diffed.
+func DumpAllowed(m map[string]bool) int {
+	seen := 1
+	for k := range m { //medusalint:allow maporder(debug-only dump, output is never hashed or diffed)
+		seen = seen*31 + len(k)
+	}
+	return seen
+}

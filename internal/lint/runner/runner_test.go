@@ -1,0 +1,31 @@
+package runner
+
+import "testing"
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text         string
+		name, reason string
+		ok, badForm  bool
+	}{
+		{"//medusalint:allow wallclock(watchdog deadline)", "wallclock", "watchdog deadline", true, false},
+		{"// medusalint:allow maporder(debug dump)", "maporder", "debug dump", true, false},
+		{"//medusalint:allow seededrand( padded reason )", "seededrand", "padded reason", true, false},
+		// Reasons may themselves contain parentheses.
+		{"//medusalint:allow capturesync(models §2.3 (invalidation) path)", "capturesync", "models §2.3 (invalidation) path", true, false},
+		// Malformed: no justification, no parens, empty name.
+		{"//medusalint:allow wallclock()", "", "", true, true},
+		{"//medusalint:allow wallclock", "", "", true, true},
+		{"//medusalint:allow (reason)", "", "", true, true},
+		// Not allow directives at all.
+		{"// plain comment", "", "", false, false},
+		{"//medusalint:something-else", "", "", false, false},
+	}
+	for _, c := range cases {
+		name, reason, ok, badForm := parseAllow(c.text)
+		if name != c.name || reason != c.reason || ok != c.ok || badForm != c.badForm {
+			t.Errorf("parseAllow(%q) = (%q, %q, %v, %v), want (%q, %q, %v, %v)",
+				c.text, name, reason, ok, badForm, c.name, c.reason, c.ok, c.badForm)
+		}
+	}
+}

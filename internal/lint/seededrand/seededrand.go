@@ -1,0 +1,106 @@
+// Package seededrand defines a medusalint analyzer that keeps every
+// random number traceable to a configuration seed. The simulator's
+// workloads, allocators, and cluster policies all draw from
+// rand.New(rand.NewSource(cfg.Seed)) instances (see
+// internal/workload/workload.go and internal/gpu/device.go), which is
+// what makes a run replayable from its config alone.
+//
+// Three things break that and are flagged:
+//
+//  1. package-level math/rand (and math/rand/v2) functions — rand.Intn,
+//     rand.Shuffle, … — which draw from the process-global,
+//     auto-seeded source;
+//  2. any use of crypto/rand, which is nondeterministic by design;
+//  3. rand.NewSource / rand.NewPCG / rand.NewChaCha8 with all-constant
+//     arguments — a hard-coded seed that cannot be varied from config.
+//
+// Constructors (rand.New, rand.NewSource, rand.NewZipf) fed from
+// non-constant seeds are the sanctioned pattern. _test.go files are
+// exempt.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/medusa-repro/medusa/internal/lint/analysis"
+	"github.com/medusa-repro/medusa/internal/lint/lintutil"
+)
+
+// Analyzer is the seededrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc:  "require all randomness to come from rand.New(rand.NewSource(seed)) with a config-derived seed",
+	Run:  run,
+}
+
+// constructors are the math/rand functions that build explicitly-seeded
+// generators; everything else at package scope draws from the global
+// source.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// seedTakers are the constructors whose arguments are the seed itself;
+// calling them with only constant arguments hard-codes the seed.
+var seedTakers = map[string]bool{
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func isMathRand(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, imp := range file.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "crypto/rand" {
+				pass.Reportf(imp.Pos(), "crypto/rand is nondeterministic; derive randomness from a config seed via math/rand.NewSource")
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				fn, ok := pass.TypesInfo.Uses[n.Sel].(*types.Func)
+				if !ok || !isMathRand(fn.Pkg()) {
+					return true
+				}
+				// Methods on *rand.Rand are fine; only package-scope
+				// functions touch the global source.
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true
+				}
+				if !constructors[fn.Name()] {
+					pass.Reportf(n.Sel.Pos(), "rand.%s draws from the process-global source; use rand.New(rand.NewSource(seed)) with a config-derived seed", fn.Name())
+				}
+			case *ast.CallExpr:
+				fn := lintutil.Callee(pass.TypesInfo, n)
+				if fn == nil || !isMathRand(fn.Pkg()) || !seedTakers[fn.Name()] || len(n.Args) == 0 {
+					return true
+				}
+				allConst := true
+				for _, arg := range n.Args {
+					if tv, ok := pass.TypesInfo.Types[arg]; !ok || tv.Value == nil {
+						allConst = false
+						break
+					}
+				}
+				if allConst {
+					pass.Reportf(n.Pos(), "rand.%s with a hard-coded seed; thread the seed through a config field so runs are replayable from config", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"github.com/medusa-repro/medusa/internal/lint/analysistest"
+	"github.com/medusa-repro/medusa/internal/lint/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, seededrand.Analyzer, "seededrand")
+}

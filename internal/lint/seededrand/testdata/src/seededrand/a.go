@@ -1,0 +1,42 @@
+package seededrand
+
+import (
+	crand "crypto/rand" // want `crypto/rand is nondeterministic`
+	"math/rand"
+)
+
+// Config mirrors the repository convention: every randomized component
+// carries a Seed field.
+type Config struct{ Seed int64 }
+
+// Violations draws from the process-global, auto-seeded source.
+func Violations() int {
+	n := rand.Intn(10)                 // want `rand\.Intn draws from the process-global source`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global source`
+	_ = rand.Int63()                   // want `rand\.Int63 draws from the process-global source`
+	var b [8]byte
+	_, _ = crand.Read(b[:])
+	return n
+}
+
+// HardCoded seeds a generator with a literal: replaying a run then
+// requires reading the source, not the config.
+func HardCoded() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `rand\.NewSource with a hard-coded seed`
+}
+
+// Good is the sanctioned pattern: the seed arrives through config.
+func Good(cfg Config) int {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return rng.Intn(10)
+}
+
+// GoodDerived mixes a config seed with shard salt — not constant, fine.
+func GoodDerived(cfg Config, shard int) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed ^ 0x5eed ^ int64(shard)))
+}
+
+// Allowed demonstrates the escape hatch.
+func Allowed() int {
+	return rand.Intn(2) //medusalint:allow seededrand(coin flip in a throwaway example binary)
+}

@@ -1,0 +1,7 @@
+package seededrand
+
+import "math/rand"
+
+// Test files are exempt: a throwaway fixed-seed generator in a test is
+// exactly what determinism wants.
+func testdataRNG() *rand.Rand { return rand.New(rand.NewSource(42)) }

@@ -1,0 +1,8 @@
+// Package vclock stands in for internal/vclock: the one package
+// allowed to touch real time types, so it is exempt wholesale.
+package vclock
+
+import "time"
+
+// RealNow is legal here and only here.
+func RealNow() time.Time { return time.Now() }

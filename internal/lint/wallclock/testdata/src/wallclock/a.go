@@ -1,0 +1,34 @@
+package wallclock
+
+import "time"
+
+// Violations exercises every forbidden form: calls and value
+// references both read the wall clock.
+func Violations() time.Duration {
+	t := time.Now()              // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep blocks on the wall clock`
+	d := time.Since(t)           // want `time\.Since reads the wall clock`
+	<-time.After(d)              // want `time\.After blocks on the wall clock`
+	clock := time.Now            // want `time\.Now reads the wall clock`
+	_ = clock
+	return d
+}
+
+// Denominations shows what stays legal: duration arithmetic, constants,
+// and parsing — virtual time is still denominated in time.Duration.
+func Denominations() time.Duration {
+	budget := 5 * time.Millisecond
+	parsed, _ := time.ParseDuration("1.5s")
+	return budget + parsed
+}
+
+// Allowed demonstrates the escape hatch with a justification.
+func Allowed() time.Time {
+	return time.Now() //medusalint:allow wallclock(process-level watchdog deadline, not simulated time)
+}
+
+// AllowedAbove demonstrates the directive-above-the-statement style.
+func AllowedAbove() time.Time {
+	//medusalint:allow wallclock(host timestamp for log file naming only)
+	return time.Now()
+}

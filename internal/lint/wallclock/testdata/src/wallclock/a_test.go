@@ -1,0 +1,12 @@
+package wallclock
+
+import "time"
+
+// Test files are exempt: tests may measure real elapsed time (for
+// example to bound a benchmark) without threatening simulation
+// determinism.
+func helperForTests() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Microsecond)
+	return time.Since(start)
+}

@@ -1,0 +1,77 @@
+// Package wallclock defines a medusalint analyzer that forbids reading
+// the wall clock. Every duration in this repository is virtual: the
+// simulated GPU, engine, and cluster all advance an internal/vclock
+// Clock, which is what makes a run at a fixed seed bit-identical across
+// machines, -race modes, and CPU load. One stray time.Now() breaks that
+// guarantee silently — a trace looks plausible and golden tests flake
+// weeks later.
+//
+// The analyzer flags any reference (call or function value) to the
+// time-package functions that observe or consume real time. The
+// internal/vclock package itself and _test.go files are exempt, and a
+// justified //medusalint:allow wallclock(...) directive silences one
+// line.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/medusa-repro/medusa/internal/lint/analysis"
+	"github.com/medusa-repro/medusa/internal/lint/lintutil"
+)
+
+// forbidden lists the time-package functions that read or wait on the
+// wall clock. Conversions and constants (time.Duration, time.Millisecond,
+// time.ParseDuration) are fine: they denominate virtual time.
+var forbidden = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Sleep":     "blocks on the wall clock",
+	"After":     "blocks on the wall clock",
+	"AfterFunc": "schedules on the wall clock",
+	"Tick":      "ticks on the wall clock",
+	"NewTicker": "ticks on the wall clock",
+	"NewTimer":  "schedules on the wall clock",
+}
+
+// Analyzer is the wallclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid wall-clock time in the simulator: all timing must flow through internal/vclock",
+	Run:  run,
+}
+
+// exemptPackage reports whether the package is the virtual clock
+// itself — the one place real time types are legitimately wrapped.
+func exemptPackage(path string) bool {
+	return path == "vclock" || strings.HasSuffix(path, "/vclock")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if exemptPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if why, bad := forbidden[fn.Name()]; bad {
+				pass.Reportf(sel.Sel.Pos(), "time.%s %s; use the internal/vclock clock threaded through the simulation", fn.Name(), why)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,16 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"github.com/medusa-repro/medusa/internal/lint/analysistest"
+	"github.com/medusa-repro/medusa/internal/lint/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, wallclock.Analyzer, "wallclock")
+}
+
+func TestWallclockVclockExempt(t *testing.T) {
+	analysistest.Run(t, wallclock.Analyzer, "vclock")
+}

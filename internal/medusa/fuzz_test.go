@@ -2,6 +2,9 @@ package medusa
 
 import (
 	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -57,6 +60,107 @@ func FuzzDecode(f *testing.F) {
 		}
 		if !bytes.Equal(re, re2) {
 			t.Fatal("encode → decode → encode is not a fixed point")
+		}
+	})
+}
+
+// buildFuzzArtifact derives a structurally valid artifact from a seeded
+// generator, so the round-trip fuzzer explores the encoder's whole
+// input space (not just what byte-level mutation of one seed reaches).
+func buildFuzzArtifact(rng *rand.Rand, nAlloc, nGraphs, nKernels int, omitContents bool) *Artifact {
+	a := &Artifact{
+		FormatVersion: CurrentFormatVersion,
+		ModelName:     fmt.Sprintf("fuzz-%x", rng.Int63()),
+		AllocCount:    nAlloc,
+		Kernels:       make(map[string]KernelLoc),
+	}
+	for i := 0; i < nAlloc; i++ {
+		label := ""
+		if rng.Intn(2) == 0 {
+			label = fmt.Sprintf("buf%d", i)
+		}
+		a.AllocSeq = append(a.AllocSeq, AllocRecord{AllocIndex: i, Size: uint64(rng.Int63()), Label: label})
+		if rng.Intn(3) == 0 {
+			a.AllocSeq = append(a.AllocSeq, AllocRecord{Free: true, AllocIndex: rng.Intn(i + 1)})
+		}
+	}
+	a.PrefixLen = rng.Intn(len(a.AllocSeq) + 1)
+
+	names := make([]string, nKernels)
+	for i := range names {
+		names[i] = fmt.Sprintf("kernel_%d", i)
+		a.Kernels[names[i]] = KernelLoc{Library: fmt.Sprintf("lib%d.so", rng.Intn(3)), Exported: rng.Intn(2) == 0}
+	}
+	if nKernels > 0 {
+		for gi := 0; gi < nGraphs; gi++ {
+			g := GraphRecord{Batch: 1 << gi}
+			nNodes := rng.Intn(4)
+			for ni := 0; ni < nNodes; ni++ {
+				n := NodeRecord{KernelName: names[rng.Intn(nKernels)]}
+				for pi := rng.Intn(3); pi > 0; pi-- {
+					raw := make([]byte, 4+4*rng.Intn(2))
+					rng.Read(raw)
+					p := ParamRecord{Raw: raw}
+					if nAlloc > 0 && rng.Intn(2) == 0 {
+						p.Pointer = true
+						p.AllocIndex = rng.Intn(nAlloc)
+						p.Offset = uint64(rng.Intn(1 << 20))
+					}
+					n.Params = append(n.Params, p)
+				}
+				for di := rng.Intn(2); di > 0 && nNodes > 0; di-- {
+					n.Deps = append(n.Deps, rng.Intn(nNodes))
+				}
+				g.Nodes = append(g.Nodes, n)
+			}
+			a.Graphs = append(a.Graphs, g)
+		}
+	}
+	for i := 0; i < nAlloc && i < rng.Intn(nAlloc+1); i++ {
+		pr := PermRecord{AllocIndex: rng.Intn(nAlloc)}
+		if omitContents {
+			pr.Size = uint64(rng.Intn(1 << 16))
+		} else {
+			pr.Contents = make([]byte, rng.Intn(64))
+			rng.Read(pr.Contents)
+			pr.Size = uint64(len(pr.Contents))
+		}
+		a.Permanent = append(a.Permanent, pr)
+	}
+	a.KV = KVRecord{FreeMemBytes: uint64(rng.Int63()), NumBlocks: rng.Intn(1 << 16), BlockBytes: uint64(rng.Intn(1 << 24))}
+	return a
+}
+
+// FuzzArtifactRoundTrip is the structure-aware complement to FuzzDecode:
+// it constructs valid artifacts from fuzzed shape parameters and
+// asserts the wire format is lossless (decode returns a deeply equal
+// artifact) and canonical (re-encoding is byte-identical).
+func FuzzArtifactRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(2), uint8(4), false)
+	f.Add(int64(2), uint8(0), uint8(0), uint8(0), true)
+	f.Add(int64(3), uint8(7), uint8(3), uint8(1), true)
+	f.Add(int64(-12345), uint8(1), uint8(1), uint8(9), false)
+
+	f.Fuzz(func(t *testing.T, seed int64, nAlloc, nGraphs, nKernels uint8, omitContents bool) {
+		rng := rand.New(rand.NewSource(seed))
+		art := buildFuzzArtifact(rng, int(nAlloc%9), int(nGraphs%4), int(nKernels%6), omitContents)
+		raw, err := art.Encode()
+		if err != nil {
+			t.Fatalf("constructed artifact refuses to encode: %v", err)
+		}
+		decoded, err := Decode(raw)
+		if err != nil {
+			t.Fatalf("encoded artifact refuses to decode: %v", err)
+		}
+		if !reflect.DeepEqual(art, decoded) {
+			t.Fatalf("wire format is lossy:\nencoded %+v\ndecoded %+v", art, decoded)
+		}
+		re, err := decoded.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, re) {
+			t.Fatal("re-encoding a decoded artifact is not byte-identical")
 		}
 	})
 }

@@ -98,7 +98,10 @@ func (r *wireReader) blob(what string, limit uint32) []byte {
 	if b == nil {
 		return nil
 	}
-	return append([]byte(nil), b...)
+	// append to a non-nil empty slice: a present-but-empty blob must
+	// decode non-nil, or re-encoding would drop its presence bit and
+	// break the encode→decode→encode fixed point.
+	return append([]byte{}, b...)
 }
 
 func (r *wireReader) str(what string) string { return string(r.blob(what, 1<<20)) }

@@ -178,7 +178,11 @@ func (t *Tracer) Len() int {
 }
 
 // Spans returns a copy of all recorded spans sorted by (Start, Track,
-// ID) — the deterministic order the exporters render in.
+// Name, End, ID) — the deterministic order the exporters render in.
+// Every tie-break before ID is a content field, so exporter output is
+// stable under reordered span insertion as long as no two distinct
+// spans share all four (and ID keeps even that case deterministic
+// within a run).
 func (t *Tracer) Spans() []SpanData {
 	if t == nil {
 		return nil
@@ -193,6 +197,12 @@ func (t *Tracer) Spans() []SpanData {
 		}
 		if out[i].Track != out[j].Track {
 			return out[i].Track < out[j].Track
+		}
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		if out[i].End != out[j].End {
+			return out[i].End < out[j].End
 		}
 		return out[i].ID < out[j].ID
 	})

@@ -60,7 +60,8 @@ func (b *PhaseBreakdown) Add(phase string, d time.Duration) {
 
 // AddExclusive attributes the extent covered by the intervals to their
 // phases exclusively: at every instant the earliest-started covering
-// interval (input order breaking ties) owns the time; instants inside
+// interval owns the time (ties broken by later end, then by phase
+// name, so attribution is independent of input order); instants inside
 // the extent covered by nothing are charged to GapPhase. The total
 // charged equals exactly hull(intervals).End - hull(intervals).Start.
 func (b *PhaseBreakdown) AddExclusive(intervals []Interval) {
@@ -83,11 +84,18 @@ func (b *PhaseBreakdown) AddExclusive(intervals []Interval) {
 	for i := 0; i+1 < len(uniq); i++ {
 		lo, hi := uniq[i], uniq[i+1]
 		owner := GapPhase
-		ownerStart := time.Duration(-1)
-		for _, iv := range intervals {
-			if iv.Start <= lo && hi <= iv.End && (ownerStart < 0 || iv.Start < ownerStart) {
+		var ownerIv *Interval
+		for j := range intervals {
+			iv := &intervals[j]
+			if iv.Start > lo || hi > iv.End {
+				continue
+			}
+			if ownerIv == nil ||
+				iv.Start < ownerIv.Start ||
+				(iv.Start == ownerIv.Start && (iv.End > ownerIv.End ||
+					(iv.End == ownerIv.End && iv.Phase < ownerIv.Phase))) {
 				owner = iv.Phase
-				ownerStart = iv.Start
+				ownerIv = iv
 			}
 		}
 		if _, ok := b.totals[owner]; !ok {

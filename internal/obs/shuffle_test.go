@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// These tests pin the property the maporder analyzer guards statically:
+// exporter output is a pure function of the span *set*, not of the
+// order spans happened to be recorded in. The parallel offline pipeline
+// and the sharded cluster simulator may interleave emission differently
+// between configurations; traces and phase tables must not care.
+
+// shuffleSpec is one span in content form (no IDs).
+type shuffleSpec struct {
+	track, name, phase string
+	start, end         time.Duration
+	attrs              []Attr
+}
+
+// shuffleFixture includes same-instant, same-track collisions so the
+// content tie-breaks (Name, then End) actually decide the order.
+func shuffleFixture() []shuffleSpec {
+	ms := time.Millisecond
+	return []shuffleSpec{
+		{"gpu-0", "cold_start", "cold_start", 0, 60 * ms, []Attr{{"strategy", "MEDUSA"}}},
+		{"gpu-0", "model_struct_init", "model_struct_init", 0, 12 * ms, nil},
+		{"gpu-0", "graph_capture", "graph_capture", 12 * ms, 30 * ms, nil},
+		{"gpu-1", "cold_start", "cold_start", 0, 55 * ms, nil},
+		{"storage", "get", "io", 5 * ms, 9 * ms, []Attr{{"bytes", "1048576"}}},
+		{"storage", "get", "io", 5 * ms, 14 * ms, nil}, // same start+track+name, later end
+		{"queue", "req-1", "queued", 9 * ms, 11 * ms, nil},
+		{"queue", "req-2", "queued", 9 * ms, 13 * ms, nil},
+	}
+}
+
+func renderChrome(t *testing.T, specs []shuffleSpec) []byte {
+	t.Helper()
+	tr := NewTracer()
+	for _, s := range specs {
+		tr.RecordSpan(s.track, s.name, s.phase, s.start, s.end, s.attrs...)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestWriteChromeStableUnderShuffledInsertion(t *testing.T) {
+	base := shuffleFixture()
+	want := renderChrome(t, base)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		shuffled := append([]shuffleSpec(nil), base...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		got := renderChrome(t, shuffled)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: Chrome trace depends on span insertion order\n--- canonical ---\n%s\n--- shuffled ---\n%s",
+				trial, want, got)
+		}
+	}
+}
+
+// phaseIntervals includes an equal-start tie (weights vs tokenizer at
+// t=10ms) so the owner tie-break, not input order, decides attribution.
+func phaseIntervals() []Interval {
+	ms := time.Millisecond
+	return []Interval{
+		{Phase: "weights", Start: 10 * ms, End: 40 * ms},
+		{Phase: "tokenizer", Start: 10 * ms, End: 25 * ms},
+		{Phase: "struct_init", Start: 0, End: 10 * ms},
+		{Phase: "kv_init", Start: 35 * ms, End: 50 * ms},
+		{Phase: "capture", Start: 55 * ms, End: 70 * ms}, // leaves a [50,55) gap
+	}
+}
+
+func renderTable(ivs []Interval) string {
+	b := NewPhaseBreakdown()
+	b.AddExclusive(ivs)
+	return b.Table()
+}
+
+func TestPhaseTableStableUnderShuffledInsertion(t *testing.T) {
+	base := phaseIntervals()
+	want := renderTable(base)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		shuffled := append([]Interval(nil), base...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		if got := renderTable(shuffled); got != want {
+			t.Fatalf("trial %d: phase table depends on interval order\n--- canonical ---\n%s\n--- shuffled ---\n%s",
+				trial, want, got)
+		}
+	}
+}
+
+func TestPhaseTableEqualStartTieBreak(t *testing.T) {
+	// weights and tokenizer both start at 10ms; weights ends later, so
+	// it must own the shared region regardless of argument order.
+	b := NewPhaseBreakdown()
+	b.AddExclusive([]Interval{
+		{Phase: "tokenizer", Start: 10 * time.Millisecond, End: 25 * time.Millisecond},
+		{Phase: "weights", Start: 10 * time.Millisecond, End: 40 * time.Millisecond},
+	})
+	if d := b.Duration("weights"); d != 30*time.Millisecond {
+		t.Errorf("weights = %v, want 30ms (longer interval owns the tie)", d)
+	}
+	if d := b.Duration("tokenizer"); d != 0 {
+		t.Errorf("tokenizer = %v, want 0 (shadowed)", d)
+	}
+}
