@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-race short bench figures examples fuzz cover trace-demo clean
+.PHONY: all check build vet lint test test-race short bench bench-smoke figures examples fuzz cover trace-demo clean
 
 all: build test
 
@@ -38,6 +38,14 @@ short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Seconds-scale benchmark gate for CI: the seeded eviction-policy sweep
+# (lru/lfu/costaware on one 2-node Zipf workload) and a two-node fleet
+# simulation exercising the tiered artifact cache end to end.
+bench-smoke:
+	$(GO) run ./cmd/medusa-bench -exp ext-cache-policies
+	$(GO) run ./cmd/medusa-simulate -nodes 2 -models "Qwen1.5-0.5B,Llama2-7B" \
+		-cache-policy costaware -cache-ram 3 -cache-ssd 6 -idle 200ms -rps 3 -duration 10
 
 # Regenerate every table/figure into results/, mirroring the original
 # artifact's `python scripts/<exp>.py > results/<Figure>` workflow.

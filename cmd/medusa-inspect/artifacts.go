@@ -1,0 +1,63 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"github.com/medusa-repro/medusa/internal/artifactcache"
+	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/model"
+	"github.com/medusa-repro/medusa/internal/storage"
+)
+
+// runArtifacts implements the `artifacts` subcommand: materialize a set
+// of models and list each artifact with its per-section wire-format
+// size breakdown and the weight the cost-aware eviction policy would
+// assign it on first touch (fetch cost over the default registry
+// network, frequency 1) — the number the cluster cache ranks artifacts
+// by when tiers fill up.
+func runArtifacts(args []string) error {
+	fs := flag.NewFlagSet("artifacts", flag.ExitOnError)
+	models := fs.String("models", "Qwen1.5-0.5B,Qwen1.5-4B,Llama2-13B",
+		"comma-separated model list to materialize and size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	store := storage.NewStore(storage.DefaultArray())
+	net := artifactcache.DefaultNetwork()
+	fmt.Printf("artifact inventory (cost-aware weight: fetch cost over %.1f GB/s + %v network, freq 1)\n\n",
+		net.Bandwidth/1e9, net.Latency)
+	for _, raw := range strings.Split(*models, ",") {
+		name := strings.TrimSpace(raw)
+		cfg, err := model.ByName(name)
+		if err != nil {
+			return err
+		}
+		art, report, err := engine.RunOffline(engine.OfflineOptions{Model: cfg, Store: store, Seed: 11})
+		if err != nil {
+			return err
+		}
+		sections, err := art.SectionSizes()
+		if err != nil {
+			return err
+		}
+		var total uint64
+		for _, s := range sections {
+			total += s.Bytes
+		}
+		if total != report.ArtifactBytes {
+			return fmt.Errorf("section sizes sum to %d, artifact is %d bytes", total, report.ArtifactBytes)
+		}
+		cost := net.ReadDuration(total)
+		fmt.Printf("%s: %.2f MiB encoded, fetch cost %v, cost-aware weight %.3f\n",
+			art.ModelName, float64(total)/(1<<20), cost,
+			artifactcache.CostAwareWeight(total, cost, 1))
+		for _, s := range sections {
+			fmt.Printf("  %-14s %10d B  %5.1f%%\n", s.Name, s.Bytes, 100*float64(s.Bytes)/float64(total))
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -2,6 +2,10 @@
 // contents: graphs, parameter classification, the kernel name table
 // with restoration routes, permanent buffers, and the allocation
 // sequence summary. Useful for understanding what Medusa saves.
+//
+// The `artifacts` subcommand instead lists a set of artifacts with
+// per-section wire-format size breakdowns and the weight the cluster
+// cache's cost-aware eviction policy assigns each one.
 package main
 
 import (
@@ -16,6 +20,15 @@ import (
 )
 
 func main() {
+	// Subcommand form: `medusa-inspect artifacts [-models ...]` lists
+	// artifacts with per-section size breakdowns and cache weights.
+	if len(os.Args) > 1 && os.Args[1] == "artifacts" {
+		if err := runArtifacts(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	name := flag.String("model", "Qwen1.5-0.5B", "model name")
 	maxGraphs := flag.Int("graphs", 3, "how many graphs to detail")
 	dotBatch := flag.Int("dot", 0, "emit the captured graph for this batch size as Graphviz DOT and exit")

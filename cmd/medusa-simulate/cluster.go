@@ -1,0 +1,145 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/medusa-repro/medusa/internal/artifactcache"
+	"github.com/medusa-repro/medusa/internal/cluster"
+	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/model"
+	"github.com/medusa-repro/medusa/internal/obs"
+	"github.com/medusa-repro/medusa/internal/serverless"
+	"github.com/medusa-repro/medusa/internal/storage"
+	"github.com/medusa-repro/medusa/internal/workload"
+)
+
+// clusterFlags groups the multi-node options; -nodes > 0 switches the
+// command from the single-pool simulator to the fleet simulator with
+// tiered artifact caches and locality-aware placement.
+type clusterFlags struct {
+	nodes      *int
+	gpusPer    *int
+	policy     *string
+	ramMiB     *int
+	ssdMiB     *int
+	locality   *float64
+	prewarmSSD *bool
+	models     *string
+	zipf       *float64
+	idle       *time.Duration
+}
+
+func registerClusterFlags() *clusterFlags {
+	return &clusterFlags{
+		nodes:      flag.Int("nodes", 0, "fleet size; > 0 runs the multi-node simulator with tiered artifact caches"),
+		gpusPer:    flag.Int("gpus-per-node", 4, "GPUs per node (cluster mode)"),
+		policy:     flag.String("cache-policy", "lru", "artifact cache eviction policy: lru | lfu | costaware"),
+		ramMiB:     flag.Int("cache-ram", 4096, "per-node RAM cache tier size in MiB"),
+		ssdMiB:     flag.Int("cache-ssd", 16384, "per-node SSD cache tier size in MiB"),
+		locality:   flag.Float64("locality", cluster.DefaultLocalityWeight, "placement weight for artifact locality vs load balance (0 = pure load balancing)"),
+		prewarmSSD: flag.Bool("prewarm-ssd", false, "pre-pull every artifact onto every node's SSD tier before the trace"),
+		models:     flag.String("models", "", "comma-separated model list for a multi-model fleet (cluster mode; default: -model)"),
+		zipf:       flag.Float64("zipf", 1.2, "Zipf popularity skew across -models (must be > 1)"),
+		idle:       flag.Duration("idle", 0, "instance idle timeout (cluster mode; 0 disables)"),
+	}
+}
+
+// runCluster executes the fleet simulation and prints its Render.
+func runCluster(cf *clusterFlags, strategyName string, rps float64, durSec int, seed int64, tracePath string) error {
+	policy, err := artifactcache.ParsePolicy(*cf.policy)
+	if err != nil {
+		return err
+	}
+	strategy, err := engine.ParseStrategy(strategyName)
+	if err != nil {
+		return err
+	}
+	names := strings.Split(*cf.models, ",")
+	if *cf.models == "" {
+		names = []string{flag.Lookup("model").Value.String()}
+	}
+
+	store := storage.NewStore(storage.DefaultArray())
+	deps := make([]serverless.Deployment, 0, len(names))
+	for i, raw := range names {
+		name := strings.TrimSpace(raw)
+		cfg, err := model.ByName(name)
+		if err != nil {
+			return err
+		}
+		sc := serverless.Config{
+			Model: cfg, Strategy: strategy, Store: store,
+			Seed:      int64(i + 1),
+			Autoscale: serverless.Autoscale{IdleTimeout: *cf.idle},
+		}
+		if strategy.NeedsArtifact() {
+			fmt.Printf("running offline phase for %s...\n", name)
+			art, report, err := engine.RunOffline(engine.OfflineOptions{Model: cfg, Store: store, Seed: 7})
+			if err != nil {
+				return err
+			}
+			sc.Artifact = art
+			sc.ArtifactBytes = report.ArtifactBytes
+		}
+		deps = append(deps, serverless.Deployment{Name: name, Config: sc})
+	}
+
+	trace, err := workload.Generate(workload.TraceConfig{
+		Seed: seed, RPS: rps, Duration: time.Duration(durSec) * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	if len(deps) > 1 {
+		deps, err = cluster.ZipfDeployments(deps, trace, seed+1, *cf.zipf)
+		if err != nil {
+			return err
+		}
+	} else {
+		deps[0].Requests = trace
+	}
+
+	params := artifactcache.DefaultParams()
+	params.RAMBytes = uint64(*cf.ramMiB) << 20
+	params.SSDBytes = uint64(*cf.ssdMiB) << 20
+	params.Policy = policy
+	ccfg := cluster.Config{
+		Nodes:          *cf.nodes,
+		GPUsPerNode:    *cf.gpusPer,
+		Cache:          params,
+		LocalityWeight: *cf.locality,
+		PrewarmSSD:     *cf.prewarmSSD,
+		Seed:           seed,
+		Deployments:    deps,
+	}
+	var tracer *obs.Tracer
+	if tracePath != "" {
+		tracer = obs.NewTracer()
+		ccfg.Tracer = tracer
+	}
+	res, err := cluster.Run(ccfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+
+	if tracer != nil {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteChrome(f); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nChrome trace written to %s (%d spans, %d tracks) — load at ui.perfetto.dev\n",
+			tracePath, tracer.Len(), len(tracer.Tracks()))
+	}
+	return nil
+}

@@ -5,6 +5,13 @@
 // (loadable in Perfetto, one track per instance); with -phases it adds
 // a per-strategy cold-start phase breakdown whose per-phase sums equal
 // the end-to-end cold-start durations exactly.
+//
+// With -nodes N (N > 0) the command switches to the multi-node fleet
+// simulator: each node fronts the shared artifact registry with a
+// tiered cache (-cache-ram/-cache-ssd MiB, -cache-policy
+// lru|lfu|costaware) and cold-starting instances are placed by a
+// locality-aware scorer (-locality). -models co-locates several
+// deployments sharing the fleet under Zipf popularity (-zipf).
 package main
 
 import (
@@ -37,11 +44,18 @@ func main() {
 	phases := flag.Bool("phases", false, "print per-strategy cold-start phase breakdowns (runs every paper strategy)")
 	requestsIn := flag.String("requests", "", "read the request trace from a JSONL file instead of generating one")
 	requestsOut := flag.String("requests-out", "", "write the generated request trace to a JSONL file for replay")
+	cf := registerClusterFlags()
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
+	}
+	if *cf.nodes > 0 {
+		if err := runCluster(cf, *strategyName, *rps, *durSec, *seed, *tracePath); err != nil {
+			fail(err)
+		}
+		return
 	}
 	cfg, err := model.ByName(*modelName)
 	if err != nil {

@@ -1,0 +1,329 @@
+// Package cluster extends the serverless simulator to a multi-node
+// fleet with a tiered artifact cache. The single-pool simulator answers
+// "how bad are cold starts"; this package answers the question the
+// fleet operator actually faces: WHERE to place a cold-starting
+// instance so the (model, strategy) artifact it needs is already
+// nearby. Each node fronts the shared artifact registry with a
+// two-tier local cache (host page cache, node-local SSD — see
+// internal/artifactcache), and the placer trades artifact locality
+// against load balance with a configurable weight.
+//
+// Everything is deterministic: one event loop on virtual time, heap
+// tie-breaks by sequence number, RNGs seeded from the Config, no wall
+// clock. Fixed-seed runs render byte-identical Results and obs exports
+// regardless of repetition or GOMAXPROCS.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/medusa-repro/medusa/internal/artifactcache"
+	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/metrics"
+	"github.com/medusa-repro/medusa/internal/obs"
+	"github.com/medusa-repro/medusa/internal/serverless"
+	"github.com/medusa-repro/medusa/internal/storage"
+	"github.com/medusa-repro/medusa/internal/workload"
+)
+
+// DefaultLocalityWeight is the placement trade-off used when callers do
+// not set one: locality contributes up to this much score against a
+// load term in [0, 1].
+const DefaultLocalityWeight = 0.6
+
+// Config parameterizes one multi-node simulation.
+type Config struct {
+	// Nodes is the fleet size (default 2).
+	Nodes int
+	// GPUsPerNode bounds instances per node (default 4, the paper's
+	// testbed as one node).
+	GPUsPerNode int
+	// Cache sizes and times each node's local tiers and selects the
+	// eviction policy (zero value: artifactcache.DefaultParams).
+	Cache artifactcache.Params
+	// Network times the shared artifact registry link (zero value:
+	// artifactcache.DefaultNetwork).
+	Network storage.Array
+	// LocalityWeight scales the placer's preference for nodes whose
+	// cache holds the deployment's artifact: score = weight·locality −
+	// load. 0 means pure load balancing; negative values are rejected.
+	LocalityWeight float64
+	// WarmContainersPerNode sizes each node's pool of pre-initialized
+	// execution environments; launches beyond it also pay runtime init.
+	// 0 means unbounded (the paper's assumption).
+	WarmContainersPerNode int
+	// PrewarmSSD pre-pulls every deployment's artifact onto every
+	// node's SSD tier before the trace starts (operator-driven warm-up,
+	// charged no virtual time).
+	PrewarmSSD bool
+	// Seed namespaces the simulation's RNGs (follow-up sampling).
+	Seed int64
+	// Deployments are the co-located models, sharing the fleet.
+	Deployments []serverless.Deployment
+	// Tracer, when set, receives cold-start, iteration and queueing
+	// spans (as the single-pool simulator records) plus per-node cache
+	// fetch spans on "storage/cache/node<N>" tracks.
+	Tracer *obs.Tracer
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Nodes == 0 {
+		c.Nodes = 2
+	}
+	if c.GPUsPerNode == 0 {
+		c.GPUsPerNode = 4
+	}
+	if c.Nodes < 0 || c.GPUsPerNode < 0 {
+		return c, fmt.Errorf("cluster: Nodes %d and GPUsPerNode %d must be positive", c.Nodes, c.GPUsPerNode)
+	}
+	if c.LocalityWeight < 0 {
+		return c, fmt.Errorf("cluster: LocalityWeight must be ≥ 0, got %g", c.LocalityWeight)
+	}
+	if c.WarmContainersPerNode < 0 {
+		return c, fmt.Errorf("cluster: WarmContainersPerNode must be ≥ 0, got %d", c.WarmContainersPerNode)
+	}
+	if c.Cache == (artifactcache.Params{}) {
+		c.Cache = artifactcache.DefaultParams()
+	}
+	if c.Network == (storage.Array{}) {
+		c.Network = artifactcache.DefaultNetwork()
+	}
+	if len(c.Deployments) == 0 {
+		return c, fmt.Errorf("cluster: no deployments")
+	}
+	return c, nil
+}
+
+// artifactCacheKey names a deployment's artifact in the registry and
+// node caches — keyed by (model, strategy) so distinct artifact-based
+// strategies of one model cache independently.
+func artifactCacheKey(modelName string, strategy engine.Strategy) string {
+	return engine.ArtifactKey(modelName) + "@" + strategy.String()
+}
+
+// DeploymentResult is one deployment's slice of the fleet outcome.
+type DeploymentResult struct {
+	// Name labels the deployment.
+	Name string
+	// TTFT / E2E are the request latency samples ("ttft"/"e2e" in
+	// Metrics).
+	TTFT *metrics.Sample
+	// E2E is end-to-end request latency.
+	E2E *metrics.Sample
+	// ColdStart samples each launch's end-to-end provisioning latency
+	// (runtime init + artifact fetch + loading, overlap-aware).
+	ColdStart *metrics.Sample
+	// Completed counts finished requests.
+	Completed int
+	// ColdStarts counts instance launches.
+	ColdStarts int
+	// ColdStartPhases attributes every launch exclusively across
+	// runtime init, artifact fetch and the strategy's loading stages;
+	// its Total equals ColdStartTotal exactly.
+	ColdStartPhases *obs.PhaseBreakdown
+	// ColdStartTotal sums all launches' end-to-end durations.
+	ColdStartTotal time.Duration
+	// Metrics is the deployment's counter/gauge/sample registry.
+	Metrics *obs.Registry
+}
+
+// NodeResult is one node's share of the fleet outcome.
+type NodeResult struct {
+	// ID is the node index.
+	ID int
+	// Launches counts instances placed on the node.
+	Launches int
+	// Cache is the node's tiered-cache traffic.
+	Cache artifactcache.Stats
+}
+
+// Result aggregates one fleet simulation.
+type Result struct {
+	// Config echoes the normalized configuration the run used.
+	Config Config
+	// PerDeployment holds each deployment's statistics, in
+	// configuration order.
+	PerDeployment []*DeploymentResult
+	// PerNode holds each node's placement and cache statistics.
+	PerNode []NodeResult
+	// Cache aggregates every node's cache traffic.
+	Cache artifactcache.Stats
+	// Metrics is the cluster-wide registry the node caches count into
+	// (cache_ram_hits, cache_misses, …).
+	Metrics *obs.Registry
+	// TotalColdStarts counts launches across deployments.
+	TotalColdStarts int
+	// GPUSeconds is total provisioned GPU time across the fleet.
+	GPUSeconds float64
+	// Makespan spans simulation start to the last completion.
+	Makespan time.Duration
+}
+
+// Run simulates the fleet.
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	registry := artifactcache.NewRegistry(cfg.Network)
+	clusterReg := obs.NewRegistry()
+	sim := &simulation{cfg: cfg, reg: clusterReg}
+	for i := 0; i < cfg.Nodes; i++ {
+		cache := artifactcache.NewNodeCache(fmt.Sprintf("node%d", i), cfg.Cache, registry)
+		cache.SetObs(cfg.Tracer, clusterReg)
+		sim.nodes = append(sim.nodes, &nodeState{id: i, warmLeft: -1, cache: cache})
+		if cfg.WarmContainersPerNode > 0 {
+			sim.nodes[i].warmLeft = cfg.WarmContainersPerNode
+		}
+	}
+
+	for di, dep := range cfg.Deployments {
+		if len(dep.Requests) == 0 {
+			return nil, fmt.Errorf("cluster: deployment %d (%s) has an empty trace", di, dep.Name)
+		}
+		dcfg := dep.Config
+		dcfg.NumGPUs = cfg.GPUsPerNode
+		// The cluster charges each launch's artifact fetch explicitly
+		// through the node cache (tier- and dedup-dependent), so the
+		// template profile must not also bake the storage read into the
+		// restore stage. Tensor-parallel instances materialize per-rank
+		// artifacts inside the engine and bypass the cache.
+		fetches := dcfg.Strategy.NeedsArtifact() && dcfg.TPDegree <= 1
+		dcfg.ArtifactPreloaded = fetches
+		prof, err := serverless.NewProfile(dcfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: profiling %s: %w", dep.Name, err)
+		}
+		dcfg = prof.Config()
+		key := ""
+		if fetches {
+			key = artifactCacheKey(dcfg.Model.Name, dcfg.Strategy)
+			size := dcfg.ArtifactBytes
+			if size == 0 {
+				enc, err := dcfg.Artifact.Encode()
+				if err != nil {
+					return nil, fmt.Errorf("cluster: encoding %s artifact: %w", dep.Name, err)
+				}
+				size = uint64(len(enc))
+			}
+			registry.RegisterSized(key, size)
+		}
+		name := dep.Name
+		if name == "" {
+			name = fmt.Sprintf("deployment-%d", di)
+		}
+		d := &depState{
+			cfg:      dcfg,
+			prof:     prof,
+			name:     name,
+			key:      key,
+			reg:      obs.NewRegistry(),
+			phases:   obs.NewPhaseBreakdown(),
+			firstArr: dep.Requests[0].Arrival,
+			rng:      rand.New(rand.NewSource(cfg.Seed ^ dcfg.Seed ^ 0x5eed ^ int64(di))),
+		}
+		sim.deps = append(sim.deps, d)
+		for _, r := range dep.Requests {
+			sim.states = append(sim.states, &reqState{Request: r, dep: di, turn: 1})
+		}
+	}
+	for i := range sim.states {
+		sim.states[i].ID = i
+	}
+
+	if cfg.PrewarmSSD {
+		// Sorted keys: Preload order must not depend on map iteration.
+		keys := registry.Names()
+		for _, n := range sim.nodes {
+			for _, k := range keys {
+				if err := n.cache.Preload(k); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return sim.run()
+}
+
+// RunPolicySweep runs the same workload once per eviction policy,
+// regenerating deployments through mkDeps so each run starts from a
+// fresh trace and profile (runs must not share mutable state).
+func RunPolicySweep(base Config, mkDeps func() ([]serverless.Deployment, error)) ([]*Result, error) {
+	var out []*Result
+	for _, kind := range artifactcache.PolicyKinds() {
+		deps, err := mkDeps()
+		if err != nil {
+			return nil, err
+		}
+		cfg := base
+		cfg.Cache.Policy = kind
+		cfg.Deployments = deps
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: policy %v: %w", kind, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ZipfDeployments splits one Poisson arrival process across the given
+// deployments with Zipf-distributed popularity (skew s > 1; rank 0 is
+// the most popular). The returned slices preserve each deployment's
+// own arrival ordering and re-number per-deployment request IDs.
+func ZipfDeployments(deps []serverless.Deployment, trace []workload.Request, seed int64, s float64) ([]serverless.Deployment, error) {
+	if len(deps) == 0 {
+		return nil, fmt.Errorf("cluster: no deployments to split across")
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("cluster: Zipf skew must be > 1, got %g", s)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, s, 1, uint64(len(deps)-1))
+	if zipf == nil {
+		return nil, fmt.Errorf("cluster: invalid Zipf parameters (s=%g, n=%d)", s, len(deps))
+	}
+	out := make([]serverless.Deployment, len(deps))
+	copy(out, deps)
+	for i := range out {
+		out[i].Requests = nil
+	}
+	for _, r := range trace {
+		di := int(zipf.Uint64())
+		r.ID = len(out[di].Requests)
+		out[di].Requests = append(out[di].Requests, r)
+	}
+	for i := range out {
+		if len(out[i].Requests) == 0 {
+			// Every deployment needs at least one request or Run
+			// rejects it; steal the tail of the busiest deployment.
+			busiest := 0
+			for j := range out {
+				if len(out[j].Requests) > len(out[busiest].Requests) {
+					busiest = j
+				}
+			}
+			if len(out[busiest].Requests) < 2 {
+				return nil, fmt.Errorf("cluster: trace too small to cover %d deployments", len(deps))
+			}
+			last := len(out[busiest].Requests) - 1
+			r := out[busiest].Requests[last]
+			out[busiest].Requests = out[busiest].Requests[:last]
+			r.ID = 0
+			out[i].Requests = []workload.Request{r}
+		}
+	}
+	return out, nil
+}
+
+// sortedPhases lists a breakdown's phases sorted by name (rendering
+// must not depend on first-charged order, which varies with workload).
+func sortedPhases(b *obs.PhaseBreakdown) []string {
+	phases := b.Phases()
+	sort.Strings(phases)
+	return phases
+}

@@ -1,0 +1,36 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render is the Result's canonical text form: a pure function of the
+// simulation outcome, used by the determinism tests (byte-identical
+// across repetitions and GOMAXPROCS) and printed by medusa-simulate.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: %d nodes × %d GPUs, policy %v, locality %.2f\n",
+		r.Config.Nodes, r.Config.GPUsPerNode, r.Config.Cache.Policy, r.Config.LocalityWeight)
+	for _, d := range r.PerDeployment {
+		fmt.Fprintf(&b, "deployment %-16s completed %5d  ttft p50 %-12v p99 %-12v cold_starts %4d (total %v)\n",
+			d.Name, d.Completed, d.TTFT.P50(), d.TTFT.P99(), d.ColdStarts, d.ColdStartTotal)
+		if d.ColdStart.Len() > 0 {
+			fmt.Fprintf(&b, "  cold start p50 %-12v p99 %-12v\n", d.ColdStart.P50(), d.ColdStart.P99())
+		}
+		for _, p := range sortedPhases(d.ColdStartPhases) {
+			fmt.Fprintf(&b, "  phase %-26s %v\n", p, d.ColdStartPhases.Duration(p))
+		}
+	}
+	for _, n := range r.PerNode {
+		c := n.Cache
+		fmt.Fprintf(&b, "node %d: launches %4d  cache ram %d ssd %d miss %d coalesced %d evict %d/%d bytes %d\n",
+			n.ID, n.Launches, c.RAMHits, c.SSDHits, c.Misses, c.Coalesced,
+			c.RAMEvictions, c.SSDEvictions, c.BytesFetched)
+	}
+	fmt.Fprintf(&b, "cache total: requests %d hit_rate %.1f%% coalesced %d bytes_fetched %d\n",
+		r.Cache.Requests(), r.Cache.HitRate()*100, r.Cache.Coalesced, r.Cache.BytesFetched)
+	fmt.Fprintf(&b, "cold starts %d  gpu_seconds %.3f  makespan %v\n",
+		r.TotalColdStarts, r.GPUSeconds, r.Makespan)
+	return b.String()
+}

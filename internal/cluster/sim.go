@@ -1,0 +1,549 @@
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/medusa-repro/medusa/internal/artifactcache"
+	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/obs"
+	"github.com/medusa-repro/medusa/internal/serverless"
+	"github.com/medusa-repro/medusa/internal/workload"
+)
+
+// The event loop mirrors internal/serverless/sim.go — same event kinds,
+// same (t, seq) heap tie-break, same continuous-batching iteration
+// shape — extended with node-level placement: every launch first picks
+// a node (locality vs load), then charges runtime init and the node
+// cache's artifact fetch, overlapped (the node daemon pulls the
+// artifact while the container boots).
+
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evInstanceReady
+	evIterationEnd
+	evIdleCheck
+)
+
+type event struct {
+	t    time.Duration
+	kind eventKind
+	req  int
+	inst int
+	seq  int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// runtimeInitDuration mirrors the engine's runtime-initialization
+// phase, paid by launches that miss the node's warm container pool.
+const runtimeInitDuration = 830 * time.Millisecond
+
+// reqState tracks one request through the fleet.
+type reqState struct {
+	workload.Request
+	dep      int
+	emitted  int
+	ttftSeen bool
+	turn     int
+}
+
+// instState is one provisioned instance, pinned to a node.
+type instState struct {
+	id         int
+	dep        int
+	node       int
+	ready      bool
+	retired    bool
+	running    []*reqState
+	iterating  bool
+	idleSince  time.Duration
+	launchedAt time.Duration
+	retiredAt  time.Duration
+	kvTokens   int
+	captured   map[int]bool
+}
+
+// nodeState is one fleet node: a GPU budget, a warm-container pool and
+// the tiered artifact cache.
+type nodeState struct {
+	id       int
+	gpusUsed int
+	warmLeft int // -1 = unbounded
+	launches int
+	cache    *artifactcache.NodeCache
+}
+
+// depState is one deployment's queue, profile and metrics.
+type depState struct {
+	cfg  serverless.Config
+	prof *serverless.Profile
+	name string
+	// key is the deployment's artifact-cache key ("" when the strategy
+	// fetches no artifact through the cache).
+	key string
+
+	pending  []*reqState
+	reg      *obs.Registry
+	phases   *obs.PhaseBreakdown
+	csTotal  time.Duration
+	live     int
+	firstArr time.Duration
+	lastDone time.Duration
+	rng      *rand.Rand
+}
+
+func (d *depState) liveChanged() {
+	d.reg.Gauge("live_instances").Update(float64(d.live))
+}
+
+type simulation struct {
+	cfg   Config
+	reg   *obs.Registry // cluster-wide (cache counters)
+	nodes []*nodeState
+
+	deps      []*depState
+	instances []*instState
+	states    []*reqState
+
+	now    time.Duration
+	events eventHeap
+	seq    int
+
+	completed int
+	lastDone  time.Duration
+}
+
+func (s *simulation) schedule(t time.Duration, ev event) {
+	ev.t = t
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, ev)
+}
+
+func (s *simulation) run() (*Result, error) {
+	heap.Init(&s.events)
+	for di, d := range s.deps {
+		// Pre-warmed instances occupy GPUs from time zero, placed like
+		// any launch but charged no cold start.
+		for i := 0; i < d.cfg.Prewarm; i++ {
+			node := s.placeNode(d)
+			if node == nil {
+				break
+			}
+			inst := &instState{id: len(s.instances), dep: di, node: node.id, ready: true}
+			s.instances = append(s.instances, inst)
+			node.gpusUsed += d.cfg.TPDegree
+			node.launches++
+			d.live++
+		}
+		d.liveChanged()
+	}
+	for i := range s.states {
+		s.schedule(s.states[i].Arrival, event{kind: evArrival, req: i})
+	}
+
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(event)
+		s.now = ev.t
+		switch ev.kind {
+		case evArrival:
+			r := s.states[ev.req]
+			s.deps[r.dep].pending = append(s.deps[r.dep].pending, r)
+			if err := s.autoscaleAll(); err != nil {
+				return nil, err
+			}
+			if err := s.dispatchIdle(); err != nil {
+				return nil, err
+			}
+		case evInstanceReady:
+			inst := s.instances[ev.inst]
+			inst.ready = true
+			s.markIdle(inst)
+			if err := s.dispatchIdle(); err != nil {
+				return nil, err
+			}
+		case evIterationEnd:
+			if err := s.finishIteration(s.instances[ev.inst]); err != nil {
+				return nil, err
+			}
+		case evIdleCheck:
+			inst := s.instances[ev.inst]
+			d := s.deps[inst.dep]
+			if !inst.retired && inst.ready && !inst.iterating && len(inst.running) == 0 &&
+				s.now-inst.idleSince >= d.cfg.IdleTimeout {
+				inst.retired = true
+				inst.retiredAt = s.now
+				s.nodes[inst.node].gpusUsed -= d.cfg.TPDegree
+				d.live--
+				d.liveChanged()
+				if err := s.autoscaleAll(); err != nil {
+					return nil, err
+				}
+				if err := s.dispatchIdle(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if s.completed != len(s.states) {
+		return nil, fmt.Errorf("cluster: %d of %d requests completed", s.completed, len(s.states))
+	}
+	return s.assemble(), nil
+}
+
+func (s *simulation) assemble() *Result {
+	out := &Result{Config: s.cfg, Metrics: s.reg, Makespan: s.lastDone}
+	for _, d := range s.deps {
+		completed := int(d.reg.Counter("completed").Value())
+		coldStarts := int(d.reg.Counter("cold_starts").Value())
+		out.PerDeployment = append(out.PerDeployment, &DeploymentResult{
+			Name:            d.name,
+			TTFT:            d.reg.Sample("ttft"),
+			E2E:             d.reg.Sample("e2e"),
+			ColdStart:       d.reg.Sample("cold_start"),
+			Completed:       completed,
+			ColdStarts:      coldStarts,
+			ColdStartPhases: d.phases,
+			ColdStartTotal:  d.csTotal,
+			Metrics:         d.reg,
+		})
+		out.TotalColdStarts += coldStarts
+	}
+	for _, n := range s.nodes {
+		st := n.cache.Stats()
+		out.PerNode = append(out.PerNode, NodeResult{ID: n.id, Launches: n.launches, Cache: st})
+		out.Cache.Add(st)
+	}
+	for _, inst := range s.instances {
+		end := s.lastDone
+		if inst.retired {
+			end = inst.retiredAt
+		}
+		if end > inst.launchedAt {
+			out.GPUSeconds += (end - inst.launchedAt).Seconds() *
+				float64(s.deps[inst.dep].cfg.TPDegree)
+		}
+	}
+	return out
+}
+
+func (s *simulation) outstanding(di int) int {
+	n := len(s.deps[di].pending)
+	for _, inst := range s.instances {
+		if inst.dep == di && !inst.retired {
+			n += len(inst.running)
+		}
+	}
+	return n
+}
+
+func (s *simulation) autoscaleAll() error {
+	progress := true
+	for progress {
+		progress = false
+		for di := range s.deps {
+			launched, err := s.launchOne(di)
+			if err != nil {
+				return err
+			}
+			if launched {
+				progress = true
+			}
+		}
+	}
+	return nil
+}
+
+// localityScore grades how close a node's cache is to holding the
+// artifact: RAM-resident is ideal, an in-flight transfer is nearly as
+// good (it lands while the container boots), SSD costs one local read.
+func localityScore(tier artifactcache.Tier, ok bool) float64 {
+	if !ok {
+		return 0
+	}
+	switch tier {
+	case artifactcache.TierRAM:
+		return 1.0
+	case artifactcache.TierRemote: // in-flight
+		return 0.9
+	case artifactcache.TierSSD:
+		return 0.7
+	}
+	return 0
+}
+
+// placeNode picks the launch node: among nodes with enough free GPUs,
+// the one maximizing LocalityWeight·locality − load. Strict comparison
+// over ascending ids makes ties go to the lowest node id. Returns nil
+// when no node can host the instance.
+func (s *simulation) placeNode(d *depState) *nodeState {
+	var best *nodeState
+	bestScore := 0.0
+	for _, n := range s.nodes {
+		if n.gpusUsed+d.cfg.TPDegree > s.cfg.GPUsPerNode {
+			continue
+		}
+		score := -float64(n.gpusUsed) / float64(s.cfg.GPUsPerNode)
+		if d.key != "" && s.cfg.LocalityWeight > 0 {
+			tier, ok := n.cache.Locate(d.key, s.now)
+			score += s.cfg.LocalityWeight * localityScore(tier, ok)
+		}
+		if best == nil || score > bestScore {
+			best = n
+			bestScore = score
+		}
+	}
+	return best
+}
+
+// launchOne starts at most one instance for the deployment if demand
+// warrants and some node has free GPUs. The launch overlaps runtime
+// initialization with the node cache's artifact fetch: the node daemon
+// pulls the artifact while the container boots, and loading begins
+// when both are done.
+func (s *simulation) launchOne(di int) (bool, error) {
+	d := s.deps[di]
+	out := s.outstanding(di)
+	if out == 0 {
+		return false, nil
+	}
+	desired := 1 + (out-1)/d.cfg.InstanceTarget
+	if d.live >= desired {
+		return false, nil
+	}
+	node := s.placeNode(d)
+	if node == nil {
+		return false, nil
+	}
+	inst := &instState{id: len(s.instances), dep: di, node: node.id, idleSince: s.now, launchedAt: s.now}
+	s.instances = append(s.instances, inst)
+	node.gpusUsed += d.cfg.TPDegree
+	node.launches++
+	d.reg.Counter("cold_starts").Inc()
+	d.live++
+	d.liveChanged()
+
+	intervals := make([]obs.Interval, 0, 10)
+	riEnd := s.now
+	if node.warmLeft == 0 {
+		riEnd = s.now + runtimeInitDuration
+		intervals = append(intervals, obs.Interval{
+			Phase: engine.StageRuntimeInit, Start: s.now, End: riEnd})
+	} else if node.warmLeft > 0 {
+		node.warmLeft--
+	}
+	loadStart := riEnd
+	var fetch artifactcache.FetchResult
+	if d.key != "" {
+		var err error
+		fetch, err = node.cache.Fetch(s.now, d.key)
+		if err != nil {
+			return false, err
+		}
+		intervals = append(intervals, obs.Interval{
+			Phase: engine.StageArtifactFetch, Start: s.now, End: fetch.Ready})
+		if fetch.Ready > loadStart {
+			loadStart = fetch.Ready
+		}
+	}
+	intervals = append(intervals, obs.TimelineIntervals(d.prof.Timeline(), loadStart)...)
+	d.phases.AddExclusive(intervals)
+	ready := loadStart + d.prof.ColdStart()
+	d.csTotal += ready - s.now
+	d.reg.Sample("cold_start").Add(ready - s.now)
+	if tr := d.cfg.Tracer; tr != nil {
+		root := tr.StartSpan(s.instTrack(inst), "cold_start", s.now).
+			Tag("cold_start").
+			Attr("strategy", d.cfg.Strategy.String()).
+			Attr("model", d.cfg.Model.Name).
+			Attr("node", fmt.Sprintf("node%d", node.id))
+		if d.key != "" {
+			root.Attr("fetch_tier", fetch.Tier.String())
+		}
+		for _, iv := range intervals {
+			root.Child(iv.Phase, iv.Start).Tag(iv.Phase).End(iv.End)
+		}
+		root.End(ready)
+	}
+	s.schedule(ready, event{kind: evInstanceReady, inst: inst.id})
+	return true, nil
+}
+
+func (s *simulation) instTrack(inst *instState) string {
+	return fmt.Sprintf("%s/node%d/inst-%d", s.deps[inst.dep].name, inst.node, inst.id)
+}
+
+func (s *simulation) dispatchIdle() error {
+	for _, inst := range s.instances {
+		if inst.ready && !inst.retired && !inst.iterating {
+			if err := s.startIteration(inst); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// admit moves pending requests of the instance's deployment into it up
+// to batch and KV capacity.
+func (s *simulation) admit(inst *instState) []*reqState {
+	d := s.deps[inst.dep]
+	var admitted []*reqState
+	for len(d.pending) > 0 && len(inst.running) < d.cfg.MaxBatch {
+		r := d.pending[0]
+		need := r.PromptTokens + r.OutputTokens
+		if inst.kvTokens+need > d.prof.MaxKVTokens() {
+			break
+		}
+		d.pending = d.pending[1:]
+		inst.kvTokens += need
+		inst.running = append(inst.running, r)
+		admitted = append(admitted, r)
+	}
+	return admitted
+}
+
+func (s *simulation) startIteration(inst *instState) error {
+	d := s.deps[inst.dep]
+	admitted := s.admit(inst)
+	if tr := d.cfg.Tracer; tr != nil {
+		for _, r := range admitted {
+			tr.RecordSpan(d.name+"/queue", fmt.Sprintf("req-%d", r.ID), "queued",
+				r.Arrival, s.now,
+				obs.Attr{Key: "prompt_tokens", Value: fmt.Sprint(r.PromptTokens)},
+				obs.Attr{Key: "turn", Value: fmt.Sprint(r.turn)})
+		}
+	}
+	if len(inst.running) == 0 {
+		return nil
+	}
+	var dur time.Duration
+	if d.prof.Deferred() {
+		gb, c, err := d.prof.CaptureCost(len(inst.running))
+		if err != nil {
+			return err
+		}
+		if inst.captured == nil {
+			inst.captured = make(map[int]bool)
+		}
+		if !inst.captured[gb] {
+			inst.captured[gb] = true
+			dur += c
+		}
+	}
+	for _, r := range admitted {
+		p, err := d.prof.Prefill(r.PromptTokens)
+		if err != nil {
+			return err
+		}
+		dur += p
+	}
+	step, err := d.prof.DecodeStep(len(inst.running))
+	if err != nil {
+		return err
+	}
+	dur += step
+	inst.iterating = true
+	d.reg.Counter("iterations").Inc()
+	if tr := d.cfg.Tracer; tr != nil {
+		phase := "decode"
+		if len(admitted) > 0 {
+			phase = "prefill+decode"
+		}
+		tr.RecordSpan(s.instTrack(inst), "iteration", phase, s.now, s.now+dur,
+			obs.Attr{Key: "batch", Value: fmt.Sprint(len(inst.running))},
+			obs.Attr{Key: "admitted", Value: fmt.Sprint(len(admitted))})
+	}
+	s.schedule(s.now+dur, event{kind: evIterationEnd, inst: inst.id})
+	return nil
+}
+
+func (s *simulation) finishIteration(inst *instState) error {
+	d := s.deps[inst.dep]
+	inst.iterating = false
+	keep := inst.running[:0]
+	for _, r := range inst.running {
+		r.emitted++
+		if !r.ttftSeen {
+			r.ttftSeen = true
+			d.reg.Sample("ttft").Add(s.now - r.Arrival)
+		}
+		if r.emitted >= r.OutputTokens {
+			d.reg.Sample("e2e").Add(s.now - r.Arrival)
+			d.reg.Counter("completed").Inc()
+			s.completed++
+			inst.kvTokens -= r.PromptTokens + r.OutputTokens
+			if s.now > d.lastDone {
+				d.lastDone = s.now
+			}
+			if s.now > s.lastDone {
+				s.lastDone = s.now
+			}
+			s.maybeFollowUp(r)
+			continue
+		}
+		keep = append(keep, r)
+	}
+	inst.running = keep
+	if len(inst.running) == 0 {
+		s.markIdle(inst)
+	}
+	if err := s.autoscaleAll(); err != nil {
+		return err
+	}
+	return s.startIteration(inst)
+}
+
+func (s *simulation) maybeFollowUp(r *reqState) {
+	d := s.deps[r.dep]
+	fu := d.cfg.FollowUp
+	if fu == nil || fu.Probability <= 0 {
+		return
+	}
+	if fu.MaxTurns > 0 && r.turn >= fu.MaxTurns {
+		return
+	}
+	if d.rng.Float64() >= fu.Probability {
+		return
+	}
+	newTokens := fu.NewTokens
+	if newTokens <= 0 {
+		newTokens = workload.ShareGPTMeanPrompt / 4
+	}
+	next := &reqState{
+		Request: workload.Request{
+			ID:           len(s.states),
+			Arrival:      s.now + fu.ThinkTime,
+			PromptTokens: r.PromptTokens + r.OutputTokens + newTokens,
+			OutputTokens: r.OutputTokens,
+		},
+		dep:  r.dep,
+		turn: r.turn + 1,
+	}
+	s.states = append(s.states, next)
+	d.reg.Counter("follow_ups").Inc()
+	s.schedule(next.Arrival, event{kind: evArrival, req: next.ID})
+}
+
+func (s *simulation) markIdle(inst *instState) {
+	inst.idleSince = s.now
+	if s.deps[inst.dep].cfg.IdleTimeout > 0 {
+		s.schedule(s.now+s.deps[inst.dep].cfg.IdleTimeout, event{kind: evIdleCheck, inst: inst.id})
+	}
+}

@@ -191,6 +191,10 @@ const (
 	StageCapture     = "cuda_graph_capture"
 	StageFirstToken  = "first_token"
 	StageCkptRestore = "checkpoint_restore"
+	// StageArtifactFetch is the cluster simulator's artifact-acquisition
+	// phase: pulling the encoded artifact from the node's tiered cache
+	// (or the remote registry) before loading begins.
+	StageArtifactFetch = "artifact_fetch"
 )
 
 // Options configures a cold start.
@@ -226,6 +230,11 @@ type Options struct {
 	// ArtifactBytes is the encoded artifact size for I/O accounting
 	// (0 derives an estimate from the node count).
 	ArtifactBytes uint64
+	// ArtifactPreloaded marks the encoded artifact as already resident
+	// in host memory when loading begins — the cluster's tiered cache
+	// fetched it and charged the transfer explicitly — so the restore
+	// stage charges only decode, not the storage read.
+	ArtifactPreloaded bool
 	// CheckpointBytes is the image size for StrategyCheckpoint, from a
 	// prior TakeCheckpoint.
 	CheckpointBytes uint64

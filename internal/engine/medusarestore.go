@@ -24,7 +24,9 @@ func (inst *Instance) stageGraphRestore() error {
 		size = artifactSizeEstimate(art.TotalNodes())
 	}
 	ioDone := inst.stageSpan("artifact_read_decode")
-	inst.opts.Store.ChargeRead(clock, size, 1)
+	if !inst.opts.ArtifactPreloaded {
+		inst.opts.Store.ChargeRead(clock, size, 1)
+	}
 	clock.Advance(time.Duration(art.TotalNodes()) * artifactDecodePerNode)
 	ioDone(obs.Attr{Key: "bytes", Value: fmt.Sprint(size)},
 		obs.Attr{Key: "nodes", Value: fmt.Sprint(art.TotalNodes())})

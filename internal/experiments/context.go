@@ -22,8 +22,10 @@ import (
 type Context struct {
 	Store *storage.Store
 	// Tracer, when set before running experiments, receives the spans
-	// of every cold start Context.ColdStart performs (parallel helpers
-	// like PrefetchArtifacts stay untraced to keep span order stable).
+	// of every cold start and offline phase the context performs —
+	// including PrefetchArtifacts' parallel fan-out, which is safe to
+	// trace because the exporter orders spans by content, not by
+	// emission order.
 	Tracer *obs.Tracer
 
 	mu        sync.Mutex
@@ -73,10 +75,11 @@ func (c *Context) Artifact(cfg model.Config) (*medusa.Artifact, uint64, *engine.
 		return e.art, e.bytes, e.report, nil
 	}
 	art, report, err := engine.RunOffline(engine.OfflineOptions{
-		Model: cfg,
-		Store: c.Store,
-		Seed:  c.NextSeed(),
-		Clock: vclock.New(),
+		Model:  cfg,
+		Store:  c.Store,
+		Seed:   c.NextSeed(),
+		Clock:  vclock.New(),
+		Tracer: c.Tracer,
 	})
 	if err != nil {
 		return nil, 0, nil, fmt.Errorf("offline phase for %s: %w", cfg.Name, err)
@@ -124,10 +127,11 @@ func (c *Context) PrefetchArtifacts(cfgs []model.Config, workers int) error {
 	run := func(ji int) {
 		j := jobs[ji]
 		art, report, err := engine.RunOffline(engine.OfflineOptions{
-			Model: j.cfg,
-			Store: c.Store,
-			Seed:  j.seed,
-			Clock: vclock.New(),
+			Model:  j.cfg,
+			Store:  c.Store,
+			Seed:   j.seed,
+			Clock:  vclock.New(),
+			Tracer: c.Tracer,
 		})
 		if err != nil {
 			errs[ji] = fmt.Errorf("offline phase for %s: %w", j.cfg.Name, err)

@@ -36,7 +36,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig1", "fig2", "fig3", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"ablation-index", "ablation-copyfree", "ablation-resolve", "ablation-trigger",
 		"ext-checkpoint", "ext-multigpu", "ext-deferred", "ext-sensitivity",
-		"ext-capturesizes", "ext-hotspare"}
+		"ext-capturesizes", "ext-hotspare", "ext-cache-policies"}
 	have := map[string]bool{}
 	for _, id := range IDs() {
 		have[id] = true
@@ -45,6 +45,20 @@ func TestRegistryComplete(t *testing.T) {
 		if !have[id] {
 			t.Errorf("experiment %s not registered", id)
 		}
+	}
+}
+
+func TestExtCachePoliciesSweep(t *testing.T) {
+	r := runExp(t, "ext-cache-policies")
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want one per eviction policy", len(r.Rows))
+	}
+	rates := map[string]float64{}
+	for _, row := range r.Rows {
+		rates[row[0]] = parsePct(t, row[1])
+	}
+	if rates["costaware"] <= rates["lru"] {
+		t.Errorf("cost-aware hit rate %.3f not above LRU %.3f", rates["costaware"], rates["lru"])
 	}
 }
 

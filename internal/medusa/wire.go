@@ -106,15 +106,14 @@ func (r *wireReader) blob(what string, limit uint32) []byte {
 
 func (r *wireReader) str(what string) string { return string(r.blob(what, 1<<20)) }
 
-// Encode serializes the artifact.
-func (a *Artifact) Encode() ([]byte, error) {
-	if err := a.validate(); err != nil {
-		return nil, fmt.Errorf("medusa: refusing to encode inconsistent artifact: %w", err)
-	}
-	var w wireWriter
+// encodeBody writes the artifact body, calling mark after each wire
+// section so callers can attribute bytes to sections without a second
+// format definition (Encode and SectionSizes share this one walk).
+func (a *Artifact) encodeBody(w *wireWriter, mark func(section string)) {
 	w.str(a.ModelName)
 	w.u32(uint32(a.AllocCount))
 	w.u32(uint32(a.PrefixLen))
+	mark("header")
 
 	w.u32(uint32(len(a.AllocSeq)))
 	for _, ev := range a.AllocSeq {
@@ -123,6 +122,7 @@ func (a *Artifact) Encode() ([]byte, error) {
 		w.u64(ev.Size)
 		w.str(ev.Label)
 	}
+	mark("alloc_seq")
 
 	w.u32(uint32(len(a.Graphs)))
 	for _, g := range a.Graphs {
@@ -143,6 +143,7 @@ func (a *Artifact) Encode() ([]byte, error) {
 			}
 		}
 	}
+	mark("graphs")
 
 	names := make([]string, 0, len(a.Kernels))
 	for name := range a.Kernels {
@@ -156,6 +157,7 @@ func (a *Artifact) Encode() ([]byte, error) {
 		w.str(loc.Library)
 		w.boolean(loc.Exported)
 	}
+	mark("kernel_table")
 
 	w.u32(uint32(len(a.Permanent)))
 	for _, pr := range a.Permanent {
@@ -166,10 +168,47 @@ func (a *Artifact) Encode() ([]byte, error) {
 			w.bytes(pr.Contents)
 		}
 	}
+	mark("permanent")
 
 	w.u64(a.KV.FreeMemBytes)
 	w.u32(uint32(a.KV.NumBlocks))
 	w.u64(a.KV.BlockBytes)
+	mark("kv_record")
+}
+
+// Section is one wire-format section's share of an encoded artifact.
+type Section struct {
+	// Name is the section ("envelope", "header", "alloc_seq", "graphs",
+	// "kernel_table", "permanent", "kv_record").
+	Name string
+	// Bytes is the section's encoded size.
+	Bytes uint64
+}
+
+// SectionSizes attributes an artifact's encoded size to wire sections,
+// in wire order and summing exactly to len(Encode()). medusa-inspect
+// prints this breakdown per artifact.
+func (a *Artifact) SectionSizes() ([]Section, error) {
+	if err := a.validate(); err != nil {
+		return nil, fmt.Errorf("medusa: refusing to size inconsistent artifact: %w", err)
+	}
+	var w wireWriter
+	out := []Section{{Name: "envelope", Bytes: 16}}
+	last := 0
+	a.encodeBody(&w, func(section string) {
+		out = append(out, Section{Name: section, Bytes: uint64(w.buf.Len() - last)})
+		last = w.buf.Len()
+	})
+	return out, nil
+}
+
+// Encode serializes the artifact.
+func (a *Artifact) Encode() ([]byte, error) {
+	if err := a.validate(); err != nil {
+		return nil, fmt.Errorf("medusa: refusing to encode inconsistent artifact: %w", err)
+	}
+	var w wireWriter
+	a.encodeBody(&w, func(string) {})
 
 	body := w.buf.Bytes()
 	out := make([]byte, 0, len(body)+16)

@@ -22,6 +22,14 @@ func (s *Sample) Add(d time.Duration) { s.vals = append(s.vals, d) }
 // Len reports the observation count.
 func (s *Sample) Len() int { return len(s.vals) }
 
+// AddAll appends every observation of another sample — fleet-level
+// percentiles merge the per-deployment series this way.
+func (s *Sample) AddAll(o *Sample) {
+	if o != nil {
+		s.vals = append(s.vals, o.vals...)
+	}
+}
+
 // Quantile returns the p-quantile (0 < p ≤ 1) using the nearest-rank
 // method on a sorted copy, and false instead of a value when the
 // sample is empty or p is out of range. This is the non-panicking

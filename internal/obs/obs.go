@@ -178,11 +178,13 @@ func (t *Tracer) Len() int {
 }
 
 // Spans returns a copy of all recorded spans sorted by (Start, Track,
-// Name, End, ID) — the deterministic order the exporters render in.
-// Every tie-break before ID is a content field, so exporter output is
-// stable under reordered span insertion as long as no two distinct
-// spans share all four (and ID keeps even that case deterministic
-// within a run).
+// Name, End, Phase, Attrs, ID) — the deterministic order the exporters
+// render in. Every tie-break before ID is a content field, so exporter
+// output is a pure function of the span *set*: concurrent emitters
+// (the storage tier under the parallel offline pipeline, the cluster
+// cache's prefetch path) may interleave insertion differently between
+// runs without changing what the exporters write. ID keeps even
+// fully-identical duplicate spans deterministic within a run.
 func (t *Tracer) Spans() []SpanData {
 	if t == nil {
 		return nil
@@ -204,9 +206,35 @@ func (t *Tracer) Spans() []SpanData {
 		if out[i].End != out[j].End {
 			return out[i].End < out[j].End
 		}
+		if out[i].Phase != out[j].Phase {
+			return out[i].Phase < out[j].Phase
+		}
+		if c := compareAttrs(out[i].Attrs, out[j].Attrs); c != 0 {
+			return c < 0
+		}
 		return out[i].ID < out[j].ID
 	})
 	return out
+}
+
+// compareAttrs orders attribute lists lexicographically by (key, value)
+// pairs, shorter prefix first.
+func compareAttrs(a, b []Attr) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i].Key != b[i].Key {
+			if a[i].Key < b[i].Key {
+				return -1
+			}
+			return 1
+		}
+		if a[i].Value != b[i].Value {
+			if a[i].Value < b[i].Value {
+				return -1
+			}
+			return 1
+		}
+	}
+	return len(a) - len(b)
 }
 
 // Tracks returns the distinct track names in sorted order.

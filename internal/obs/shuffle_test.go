@@ -33,6 +33,16 @@ func shuffleFixture() []shuffleSpec {
 		{"storage", "get", "io", 5 * ms, 14 * ms, nil}, // same start+track+name, later end
 		{"queue", "req-1", "queued", 9 * ms, 11 * ms, nil},
 		{"queue", "req-2", "queued", 9 * ms, 13 * ms, nil},
+		// Same start+track+name+end, different phase: the phase tie-break
+		// decides (concurrent emitters may collide this far).
+		{"gpu-1", "stage", "phase_a", 2 * ms, 4 * ms, nil},
+		{"gpu-1", "stage", "phase_b", 2 * ms, 4 * ms, nil},
+		// Identical except for attrs — the cluster cache records fetches
+		// of different objects at the same instant on one node's track.
+		{"storage/cache/node0", "fetch", "artifact_fetch", 20 * ms, 22 * ms,
+			[]Attr{{"object", "m-a"}, {"tier", "ram"}}},
+		{"storage/cache/node0", "fetch", "artifact_fetch", 20 * ms, 22 * ms,
+			[]Attr{{"object", "m-b"}, {"tier", "ssd"}}},
 	}
 }
 

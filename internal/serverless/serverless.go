@@ -71,6 +71,12 @@ type Config struct {
 	// descriptor reports NeedsArtifact.
 	Artifact      *medusa.Artifact
 	ArtifactBytes uint64
+	// ArtifactPreloaded marks the encoded artifact as already in host
+	// memory when loading begins. The cluster simulator sets it: its
+	// tiered cache charges the artifact fetch explicitly per launch
+	// (tier- and dedup-dependent), so the template profile must not
+	// also charge the storage read inside the restore stage.
+	ArtifactPreloaded bool
 	// NumGPUs bounds concurrent instances (the paper's testbed has 4).
 	NumGPUs int
 	// TPDegree shards each instance tensor-parallel across this many
@@ -282,12 +288,13 @@ func buildProfile(cfg Config) (*profile, error) {
 	}
 
 	inst, err := engine.ColdStart(engine.Options{
-		Model:         cfg.Model,
-		Strategy:      cfg.Strategy,
-		Seed:          cfg.Seed ^ 0x7a7a,
-		Store:         cfg.Store,
-		Artifact:      cfg.Artifact,
-		ArtifactBytes: cfg.ArtifactBytes,
+		Model:             cfg.Model,
+		Strategy:          cfg.Strategy,
+		Seed:              cfg.Seed ^ 0x7a7a,
+		Store:             cfg.Store,
+		Artifact:          cfg.Artifact,
+		ArtifactBytes:     cfg.ArtifactBytes,
+		ArtifactPreloaded: cfg.ArtifactPreloaded,
 	})
 	if err != nil {
 		return nil, err

@@ -53,9 +53,11 @@ type Store struct {
 
 // SetTracer attaches a tracer: every Put/Get/ChargeRead records a span
 // on the "storage" track, timed on the clock the operation advances.
-// Span order follows call order, so deterministic traces require the
-// instrumented operations to run from one goroutine (parallel offline
-// helpers should leave the tracer unset).
+// Safe under concurrent use: recorded spans carry the object name and
+// byte count as content, and the obs exporters order spans by content,
+// so traces from parallel callers (the offline pipeline's prefetch,
+// the cluster cache's warm-up) are deterministic regardless of which
+// goroutine recorded first.
 func (s *Store) SetTracer(t *obs.Tracer) {
 	s.mu.Lock()
 	s.tracer = t
@@ -124,6 +126,24 @@ func (s *Store) Get(clock *vclock.Clock, name string) ([]byte, error) {
 		return nil, nil
 	}
 	return append([]byte(nil), data...), nil
+}
+
+// Peek returns an object's contents without charging I/O time or
+// recording a span — for callers that have already paid the transfer
+// elsewhere (the tiered artifact cache charges tier-dependent fetch
+// time and then reads the bytes out-of-band). Returns nil contents for
+// content-free (PutSized) objects.
+func (s *Store) Peek(name string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.objects[name]
+	if !ok {
+		return nil, false
+	}
+	if data == nil {
+		return nil, true
+	}
+	return append([]byte(nil), data...), true
 }
 
 // Size returns an object's size without charging I/O time.
