@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-race short bench bench-smoke figures examples fuzz cover trace-demo clean
+.PHONY: all check build vet lint docs test test-race short bench bench-smoke faults-smoke figures examples fuzz cover trace-demo clean
 
 all: build test
 
@@ -21,6 +21,12 @@ vet:
 # DESIGN.md §8 for the invariant-to-analyzer mapping.
 lint:
 	$(GO) run ./cmd/medusalint ./...
+
+# Godoc gate: fail on any undocumented exported identifier in the
+# packages whose APIs FAILURES.md and DESIGN.md document.
+docs:
+	$(GO) run ./cmd/medusa-doccheck ./internal/faults ./internal/artifactcache \
+		./internal/cluster ./internal/serverless
 
 test:
 	$(GO) test ./...
@@ -47,6 +53,14 @@ bench-smoke:
 	$(GO) run ./cmd/medusa-simulate -nodes 2 -models "Qwen1.5-0.5B,Llama2-7B" \
 		-cache-policy costaware -cache-ram 3 -cache-ssd 6 -idle 200ms -rps 3 -duration 10
 
+# Seconds-scale fault-injection gate: the seeded probability sweep
+# (every run must survive every injected fault — FAILURES.md) plus a
+# crash-preset fleet simulation exercising requeue and lost tiers.
+faults-smoke:
+	$(GO) run ./cmd/medusa-bench -exp ext-fault-sweep
+	$(GO) run ./cmd/medusa-simulate -faults crash -nodes 2 -models "Qwen1.5-0.5B,Llama2-7B" \
+		-cache-ram 3 -cache-ssd 6 -idle 250ms -rps 3 -duration 15
+
 # Regenerate every table/figure into results/, mirroring the original
 # artifact's `python scripts/<exp>.py > results/<Figure>` workflow.
 figures:
@@ -60,7 +74,8 @@ examples:
 	$(GO) run ./examples/multimodel
 
 fuzz:
-	$(GO) test -run xxx -fuzz FuzzDecode -fuzztime 30s ./internal/medusa/
+	$(GO) test -run xxx -fuzz FuzzDecode$$ -fuzztime 30s ./internal/medusa/
+	$(GO) test -run xxx -fuzz FuzzDecodeCorrupted -fuzztime 30s ./internal/medusa/
 	$(GO) test -run xxx -fuzz FuzzArtifactRoundTrip -fuzztime 30s ./internal/medusa/
 	$(GO) test -run xxx -fuzz FuzzEncodeDecode -fuzztime 30s ./internal/tokenizer/
 

@@ -1,0 +1,175 @@
+// Command medusa-doccheck fails the build when a package exports an
+// undocumented identifier. It parses Go source directly (stdlib only:
+// go/parser + go/ast), so it needs no type information and runs in
+// milliseconds; `make docs` gates CI with it on the packages whose
+// APIs FAILURES.md and DESIGN.md document.
+//
+// Usage:
+//
+//	medusa-doccheck ./internal/faults ./internal/cluster ...
+//
+// A symbol is documented when its declaration carries a doc comment;
+// members of a const/var group are also covered by the group's doc
+// comment. Checked: exported top-level types, funcs, consts and vars,
+// methods on exported receivers, struct fields, and interface methods
+// — the godoc visibility rule, so exported methods on unexported
+// types (interface plumbing like heap.Interface) are exempt. Test
+// files are skipped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: medusa-doccheck <package-dir> [package-dir...]")
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	total := 0
+	for _, dir := range flag.Args() {
+		missing, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		total += len(missing)
+		for _, m := range missing {
+			fmt.Println(m)
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "medusa-doccheck: %d undocumented exported identifier(s)\n", total)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory and returns a sorted line per
+// undocumented exported identifier.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: undocumented exported %s %s",
+			filepath.ToSlash(p.Filename), p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				checkDecl(decl, report)
+			}
+		}
+	}
+	sort.Strings(missing)
+	return missing, nil
+}
+
+// checkDecl reports every undocumented exported identifier a top-level
+// declaration introduces.
+func checkDecl(decl ast.Decl, report func(token.Pos, string, string)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return
+		}
+		name := d.Name.Name
+		if d.Recv != nil && len(d.Recv.List) > 0 {
+			recv := recvName(d.Recv.List[0].Type)
+			if !ast.IsExported(recv) {
+				return // not godoc-visible: interface plumbing on an unexported type
+			}
+			name = recv + "." + name
+		}
+		report(d.Name.Pos(), "function", name)
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && s.Doc == nil && d.Doc == nil {
+					report(s.Name.Pos(), "type", s.Name.Name)
+				}
+				if s.Name.IsExported() {
+					checkTypeMembers(s, report)
+				}
+			case *ast.ValueSpec:
+				// A group doc ("// Degradation reasons ...") covers its
+				// members; an individual doc overrides.
+				if s.Doc != nil || d.Doc != nil {
+					continue
+				}
+				kind := "var"
+				if d.Tok == token.CONST {
+					kind = "const"
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						report(n.Pos(), kind, n.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkTypeMembers descends into an exported type's struct fields and
+// interface methods.
+func checkTypeMembers(s *ast.TypeSpec, report func(token.Pos, string, string)) {
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		for _, f := range t.Fields.List {
+			if f.Doc != nil || f.Comment != nil {
+				continue
+			}
+			for _, n := range f.Names {
+				if n.IsExported() {
+					report(n.Pos(), "field", s.Name.Name+"."+n.Name)
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range t.Methods.List {
+			if m.Doc != nil || m.Comment != nil {
+				continue
+			}
+			for _, n := range m.Names {
+				if n.IsExported() {
+					report(n.Pos(), "method", s.Name.Name+"."+n.Name)
+				}
+			}
+		}
+	}
+}
+
+// recvName extracts the receiver type's name for the report label.
+func recvName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return recvName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvName(t.X)
+	case *ast.IndexListExpr:
+		return recvName(t.X)
+	}
+	return "?"
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/medusa-repro/medusa/internal/artifactcache"
 	"github.com/medusa-repro/medusa/internal/cluster"
 	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/faults"
 	"github.com/medusa-repro/medusa/internal/model"
 	"github.com/medusa-repro/medusa/internal/obs"
 	"github.com/medusa-repro/medusa/internal/serverless"
@@ -49,7 +50,7 @@ func registerClusterFlags() *clusterFlags {
 }
 
 // runCluster executes the fleet simulation and prints its Render.
-func runCluster(cf *clusterFlags, strategyName string, rps float64, durSec int, seed int64, tracePath string) error {
+func runCluster(cf *clusterFlags, strategyName string, rps float64, durSec int, seed int64, tracePath string, plan *faults.Plan) error {
 	policy, err := artifactcache.ParsePolicy(*cf.policy)
 	if err != nil {
 		return err
@@ -115,6 +116,7 @@ func runCluster(cf *clusterFlags, strategyName string, rps float64, durSec int, 
 		PrewarmSSD:     *cf.prewarmSSD,
 		Seed:           seed,
 		Deployments:    deps,
+		Faults:         plan,
 	}
 	var tracer *obs.Tracer
 	if tracePath != "" {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/faults"
 	"github.com/medusa-repro/medusa/internal/medusa"
 	"github.com/medusa-repro/medusa/internal/model"
 	"github.com/medusa-repro/medusa/internal/obs"
@@ -44,6 +45,7 @@ func main() {
 	phases := flag.Bool("phases", false, "print per-strategy cold-start phase breakdowns (runs every paper strategy)")
 	requestsIn := flag.String("requests", "", "read the request trace from a JSONL file instead of generating one")
 	requestsOut := flag.String("requests-out", "", "write the generated request trace to a JSONL file for replay")
+	faultsSpec := flag.String("faults", "", "fault plan: preset name (none | mild | heavy | crash) or path to a plan JSON file")
 	cf := registerClusterFlags()
 	flag.Parse()
 
@@ -51,8 +53,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
+	var plan *faults.Plan
+	if *faultsSpec != "" {
+		p, err := faults.LoadPlan(*faultsSpec)
+		if err != nil {
+			fail(err)
+		}
+		plan = &p
+	}
 	if *cf.nodes > 0 {
-		if err := runCluster(cf, *strategyName, *rps, *durSec, *seed, *tracePath); err != nil {
+		if err := runCluster(cf, *strategyName, *rps, *durSec, *seed, *tracePath, plan); err != nil {
 			fail(err)
 		}
 		return
@@ -89,6 +99,7 @@ func main() {
 			Model: cfg, Strategy: s, Store: store,
 			NumGPUs: *gpus, Seed: 1,
 			Autoscale: serverless.Autoscale{Prewarm: *prewarm},
+			Faults:    plan,
 		}
 		if *followup > 0 {
 			sc.FollowUp = &serverless.FollowUpModel{
@@ -157,6 +168,9 @@ func main() {
 		cfg.Name, strategy, *rps, *durSec, len(reqs))
 	fmt.Printf("  completed:      %d\n", res.Completed)
 	fmt.Printf("  cold starts:    %d (peak instances %d)\n", res.ColdStarts, res.PeakInstances)
+	if plan != nil && !plan.Zero() {
+		fmt.Printf("  degraded:       %d cold starts fell back to vanilla (see FAILURES.md)\n", res.Degraded)
+	}
 	fmt.Printf("  throughput:     %.2f req/s\n", res.Throughput)
 	fmt.Printf("  TTFT p50/p99:   %.3fs / %.3fs\n", res.TTFT.P50().Seconds(), res.TTFT.P99().Seconds())
 	fmt.Printf("  E2E  p50/p99:   %.3fs / %.3fs\n", res.E2E.P50().Seconds(), res.E2E.P99().Seconds())

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/medusa-repro/medusa/internal/faults"
 	"github.com/medusa-repro/medusa/internal/obs"
 	"github.com/medusa-repro/medusa/internal/storage"
 	"github.com/medusa-repro/medusa/internal/vclock"
@@ -40,6 +41,7 @@ const (
 	TierRemote
 )
 
+// String names the tier for stats and placement rendering.
 func (t Tier) String() string {
 	switch t {
 	case TierRAM:
@@ -56,8 +58,7 @@ func (t Tier) String() string {
 type Params struct {
 	// RAMBytes / SSDBytes are the per-tier capacities. A zero capacity
 	// disables the tier (every lookup falls through).
-	RAMBytes uint64
-	SSDBytes uint64
+	RAMBytes, SSDBytes uint64
 	// RAM times the host-page-cache tier.
 	RAM storage.Array
 	// SSD times the node-local SSD tier.
@@ -162,8 +163,7 @@ func (r *Registry) FetchDuration(n uint64) time.Duration { return r.net.ReadDura
 // found a registered artifact — is property-tested at fleet scale.
 type Stats struct {
 	// RAMHits / SSDHits count fetches served from a local tier.
-	RAMHits int
-	SSDHits int
+	RAMHits, SSDHits int
 	// Misses counts remote-registry transfers actually charged.
 	Misses int
 	// Coalesced counts fetches that piggybacked on an in-flight
@@ -171,15 +171,26 @@ type Stats struct {
 	// extra bytes moved, completion at the first transfer's instant.
 	Coalesced int
 	// RAMEvictions / SSDEvictions count policy evictions per tier.
-	RAMEvictions int
-	SSDEvictions int
+	RAMEvictions, SSDEvictions int
 	// BytesFetched totals remote-transfer bytes (deduplicated fetches
 	// charge nothing).
 	BytesFetched uint64
+	// TimedOut counts fetches abandoned after the fault plan's retry
+	// budget: every attempt of the remote transfer timed out (injected
+	// SiteRegistryTimeout). Zero without a fault injector.
+	TimedOut int
+	// Retries counts extra fetch attempts taken after an injected
+	// timeout or SSD read error (backoff waits on the virtual clock).
+	Retries int
+	// SSDReadErrors counts injected SSD-tier read failures
+	// (SiteSSDRead); after the retry budget the fetch falls through to
+	// the remote registry, so these are not terminal.
+	SSDReadErrors int
 }
 
-// Requests is the total artifact fetches the node served.
-func (s Stats) Requests() int { return s.RAMHits + s.SSDHits + s.Misses + s.Coalesced }
+// Requests is the total artifact fetches the node served, including
+// those abandoned as timed out.
+func (s Stats) Requests() int { return s.RAMHits + s.SSDHits + s.Misses + s.Coalesced + s.TimedOut }
 
 // HitRate is the fraction of fetches served without a remote transfer
 // of their own (local hits; coalesced fetches count as neither hit nor
@@ -200,6 +211,9 @@ func (s *Stats) Add(o Stats) {
 	s.RAMEvictions += o.RAMEvictions
 	s.SSDEvictions += o.SSDEvictions
 	s.BytesFetched += o.BytesFetched
+	s.TimedOut += o.TimedOut
+	s.Retries += o.Retries
+	s.SSDReadErrors += o.SSDReadErrors
 }
 
 // entry is one artifact's residency and policy bookkeeping. Stats are
@@ -255,6 +269,7 @@ type NodeCache struct {
 	tracer *obs.Tracer
 	track  string
 	reg    *obs.Registry
+	inj    *faults.Injector
 }
 
 // NewNodeCache creates a node cache over the shared registry.
@@ -282,6 +297,20 @@ func (c *NodeCache) SetObs(tracer *obs.Tracer, reg *obs.Registry) {
 	c.mu.Lock()
 	c.tracer = tracer
 	c.reg = reg
+	c.mu.Unlock()
+}
+
+// SetFaults attaches a fault injector: Fetch then rolls registry
+// timeouts on remote transfers and read errors on SSD-tier hits,
+// retrying within the plan's budget with capped exponential backoff in
+// virtual time. Exhausted remote retries surface a typed
+// *faults.FetchTimeoutError (with Ready set to the instant the failure
+// was known, so callers can charge the wasted time); exhausted SSD
+// retries drop the node's SSD copy and fall through to the remote
+// path. A nil injector restores fault-free behavior.
+func (c *NodeCache) SetFaults(inj *faults.Injector) {
+	c.mu.Lock()
+	c.inj = inj
 	c.mu.Unlock()
 }
 
@@ -371,12 +400,22 @@ func (c *NodeCache) Fetch(now time.Duration, key string) (FetchResult, error) {
 	}
 	if e, ok := c.entries[key]; ok && e.inSSD {
 		c.touch(e)
-		c.stats.SSDHits++
-		c.count("cache_ssd_hits")
-		ready := now + c.params.SSD.ReadDuration(e.size)
-		c.insertRAM(e)
-		c.span(key, now, ready, TierSSD, false, e.size)
-		return FetchResult{Ready: ready, Tier: TierSSD, Bytes: e.size}, nil
+		delay, served := c.ssdReadFaults(key, e.size)
+		if served {
+			c.stats.SSDHits++
+			c.count("cache_ssd_hits")
+			ready := now + delay + c.params.SSD.ReadDuration(e.size)
+			c.insertRAM(e)
+			c.span(key, now, ready, TierSSD, false, e.size)
+			return FetchResult{Ready: ready, Tier: TierSSD, Bytes: e.size}, nil
+		}
+		// Every SSD attempt failed: the local copy is untrustworthy, so
+		// drop it and fall through to the remote registry, carrying the
+		// wasted attempt time forward.
+		e.inSSD = false
+		c.ssdUsed -= e.size
+		c.gauge("cache_ssd_bytes", c.ssdUsed)
+		now += delay
 	}
 
 	size, ok := c.remote.Size(key)
@@ -384,6 +423,18 @@ func (c *NodeCache) Fetch(now time.Duration, key string) (FetchResult, error) {
 		return FetchResult{}, fmt.Errorf("artifactcache: artifact %q not in registry", key)
 	}
 	cost := c.remote.FetchDuration(size)
+	if delay, served := c.remoteTimeouts(key, cost); !served {
+		// Retry budget exhausted: report when the failure was known so
+		// callers can charge the wasted time, and leave tiers untouched.
+		c.stats.TimedOut++
+		c.count("cache_fetch_timed_out")
+		ready := now + delay
+		c.span(key, now, ready, TierNone, false, 0)
+		return FetchResult{Ready: ready, Tier: TierRemote, Bytes: size},
+			&faults.FetchTimeoutError{Key: key, Attempts: c.inj.MaxAttempts()}
+	} else { //nolint:revive // keep the happy path inside the else to scope delay
+		now += delay
+	}
 	e, ok := c.entries[key]
 	if !ok {
 		e = &entry{key: key, size: size, cost: cost}
@@ -399,6 +450,99 @@ func (c *NodeCache) Fetch(now time.Duration, key string) (FetchResult, error) {
 	c.inflight[key] = ready
 	c.span(key, now, ready, TierRemote, false, size)
 	return FetchResult{Ready: ready, Tier: TierRemote, Bytes: size}, nil
+}
+
+// ssdReadFaults rolls the SSD-tier read fault per attempt, returning
+// the accumulated failed-read and backoff time and whether any attempt
+// finally served. Callers hold c.mu.
+func (c *NodeCache) ssdReadFaults(key string, size uint64) (time.Duration, bool) {
+	if c.inj == nil {
+		return 0, true
+	}
+	attempts := c.inj.MaxAttempts()
+	var delay time.Duration
+	for attempt := 0; attempt < attempts; attempt++ {
+		if !c.inj.Inject(faults.SiteSSDRead, key) {
+			return delay, true
+		}
+		c.stats.SSDReadErrors++
+		c.count("cache_ssd_read_errors")
+		delay += c.params.SSD.ReadDuration(size)
+		if attempt+1 < attempts {
+			c.stats.Retries++
+			c.count("cache_fetch_retries")
+			delay += c.inj.Backoff(faults.SiteSSDRead, key, attempt)
+		}
+	}
+	return delay, false
+}
+
+// remoteTimeouts rolls the registry-timeout fault per transfer
+// attempt, returning the accumulated timeout and backoff time and
+// whether any attempt finally went through. Callers hold c.mu.
+func (c *NodeCache) remoteTimeouts(key string, cost time.Duration) (time.Duration, bool) {
+	if c.inj == nil {
+		return 0, true
+	}
+	attempts := c.inj.MaxAttempts()
+	var delay time.Duration
+	for attempt := 0; attempt < attempts; attempt++ {
+		if !c.inj.Inject(faults.SiteRegistryTimeout, key) {
+			return delay, true
+		}
+		c.count("cache_fetch_timeouts")
+		delay += c.inj.TimeoutDelay(cost)
+		if attempt+1 < attempts {
+			c.stats.Retries++
+			c.count("cache_fetch_retries")
+			delay += c.inj.Backoff(faults.SiteRegistryTimeout, key, attempt)
+		}
+	}
+	return delay, false
+}
+
+// Discard drops any local copies of an artifact and forgets in-flight
+// state — callers that find a fetched artifact corrupt evict it so the
+// next fetch re-pulls fresh bytes from the registry. Popularity
+// history is kept, as with an ordinary eviction.
+func (c *NodeCache) Discard(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	if e.inRAM {
+		e.inRAM = false
+		c.ramUsed -= e.size
+		c.gauge("cache_ram_bytes", c.ramUsed)
+	}
+	if e.inSSD {
+		e.inSSD = false
+		c.ssdUsed -= e.size
+		c.gauge("cache_ssd_bytes", c.ssdUsed)
+	}
+	delete(c.inflight, key)
+	c.count("cache_discards")
+}
+
+// MarkLost empties both local tiers and forgets every in-flight
+// transfer: the node crashed, and its page cache and SSD contents are
+// gone with it. Stats accumulated so far are preserved for the final
+// report.
+func (c *NodeCache) MarkLost() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		e.inRAM = false
+		e.inSSD = false
+	}
+	c.ramUsed = 0
+	c.ssdUsed = 0
+	c.inflight = make(map[string]time.Duration)
+	c.gauge("cache_ram_bytes", 0)
+	c.gauge("cache_ssd_bytes", 0)
+	c.count("cache_tiers_lost")
 }
 
 // Preload installs an artifact into the node's SSD tier at no virtual
@@ -436,6 +580,11 @@ func (c *NodeCache) Stats() Stats {
 func (c *NodeCache) Get(clock *vclock.Clock, name string) ([]byte, error) {
 	res, err := c.Fetch(clock.Now(), name)
 	if err != nil {
+		// A timed-out fetch still burned its attempts: charge that time
+		// before surfacing the typed error.
+		if res.Ready > clock.Now() {
+			clock.AdvanceTo(res.Ready)
+		}
 		return nil, err
 	}
 	clock.AdvanceTo(res.Ready)

@@ -1,0 +1,177 @@
+package artifactcache
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/medusa-repro/medusa/internal/faults"
+)
+
+func faultyCache(t *testing.T, plan faults.Plan) (*NodeCache, *Registry) {
+	t.Helper()
+	reg := NewRegistry(DefaultNetwork())
+	reg.RegisterSized("m@medusa", 32<<20)
+	c := NewNodeCache("n0", DefaultParams(), reg)
+	inj, err := faults.NewInjector(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetFaults(inj)
+	return c, reg
+}
+
+func TestFetchTimeoutExhaustsBudget(t *testing.T) {
+	c, _ := faultyCache(t, faults.Plan{RegistryTimeout: faults.SiteSpec{Every: 1}})
+	res, err := c.Fetch(0, "m@medusa")
+	var timeout *faults.FetchTimeoutError
+	if !errors.As(err, &timeout) {
+		t.Fatalf("got %T (%v), want FetchTimeoutError", err, err)
+	}
+	if timeout.Attempts != 4 {
+		t.Fatalf("Attempts = %d, want default budget 4", timeout.Attempts)
+	}
+	if res.Ready <= 0 {
+		t.Fatal("failed fetch must report when the failure was known")
+	}
+	st := c.Stats()
+	if st.TimedOut != 1 || st.Misses != 0 || st.Retries != 3 {
+		t.Fatalf("stats = %+v, want TimedOut 1, Misses 0, Retries 3", st)
+	}
+	if st.Requests() != 1 {
+		t.Fatalf("conservation: Requests = %d, want 1", st.Requests())
+	}
+	// The abandoned fetch must leave no residency or in-flight state.
+	if tier, ok := c.Locate("m@medusa", res.Ready+time.Hour); ok {
+		t.Fatalf("timed-out fetch left residency in %v", tier)
+	}
+}
+
+func TestFetchTimeoutThenRetrySucceeds(t *testing.T) {
+	// Every=2 fires on the 2nd, 4th, ... draw for the key: the first
+	// Fetch's single attempt passes clean, the second Fetch times out
+	// once and succeeds on its retry.
+	c, _ := faultyCache(t, faults.Plan{RegistryTimeout: faults.SiteSpec{Every: 2}})
+	res1, err := c.Fetch(0, "m@medusa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evict nothing; fetch again after the transfer lands (RAM hit would
+	// dodge the remote path, so discard first).
+	c.Discard("m@medusa")
+	res2, err := c.Fetch(res1.Ready+time.Second, "m@medusa")
+	if err != nil {
+		t.Fatalf("retry should have succeeded: %v", err)
+	}
+	st := c.Stats()
+	if st.Retries != 1 || st.TimedOut != 0 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want Retries 1, TimedOut 0, Misses 2", st)
+	}
+	// The retried fetch pays its failed attempt + backoff on top of the
+	// transfer, so it takes strictly longer than the clean one.
+	if d1, d2 := res1.Ready-0, res2.Ready-(res1.Ready+time.Second); d2 <= d1 {
+		t.Fatalf("retried fetch (%v) should be slower than clean fetch (%v)", d2, d1)
+	}
+}
+
+func TestSSDReadErrorFallsThroughToRemote(t *testing.T) {
+	c, _ := faultyCache(t, faults.Plan{SSDRead: faults.SiteSpec{Every: 1}})
+	if err := c.Preload("m@medusa"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Fetch(0, "m@medusa")
+	if err != nil {
+		t.Fatalf("SSD read errors must fall through to the registry, got %v", err)
+	}
+	if res.Tier != TierRemote {
+		t.Fatalf("Tier = %v, want remote fall-through", res.Tier)
+	}
+	st := c.Stats()
+	if st.SSDReadErrors != 4 || st.SSDHits != 0 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want SSDReadErrors 4, SSDHits 0, Misses 1", st)
+	}
+	if st.Requests() != 1 {
+		t.Fatalf("conservation: Requests = %d, want 1", st.Requests())
+	}
+	// Fall-through burns the failed SSD reads before the transfer, so it
+	// must cost more than a clean remote miss.
+	clean, _ := faultyCache(t, faults.Plan{})
+	cres, err := clean.Fetch(0, "m@medusa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ready <= cres.Ready {
+		t.Fatalf("faulted fetch (%v) should be slower than clean miss (%v)", res.Ready, cres.Ready)
+	}
+}
+
+func TestDiscardDropsResidency(t *testing.T) {
+	c, _ := faultyCache(t, faults.Plan{})
+	res, err := c.Fetch(0, "m@medusa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := res.Ready + time.Second
+	if _, ok := c.Locate("m@medusa", after); !ok {
+		t.Fatal("fetched artifact should be resident")
+	}
+	c.Discard("m@medusa")
+	if tier, ok := c.Locate("m@medusa", after); ok {
+		t.Fatalf("Discard left residency in %v", tier)
+	}
+	// Discarding an unknown key is a no-op, not a crash.
+	c.Discard("never-seen")
+}
+
+func TestMarkLostEmptiesTiers(t *testing.T) {
+	c, reg := faultyCache(t, faults.Plan{})
+	reg.RegisterSized("other@medusa", 8<<20)
+	if _, err := c.Fetch(0, "m@medusa"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Preload("other@medusa"); err != nil {
+		t.Fatal(err)
+	}
+	c.MarkLost()
+	for _, key := range []string{"m@medusa", "other@medusa"} {
+		if tier, ok := c.Locate(key, time.Hour); ok {
+			t.Fatalf("MarkLost left %s resident in %v", key, tier)
+		}
+	}
+	// The cache still works after the wipe: a new fetch is a fresh miss.
+	res, err := c.Fetch(time.Hour, "m@medusa")
+	if err != nil || res.Tier != TierRemote {
+		t.Fatalf("post-crash fetch = %+v, %v; want clean remote miss", res, err)
+	}
+}
+
+// Fault draws are keyed per artifact, so two identically configured
+// caches produce identical outcome sequences regardless of what other
+// keys were fetched in between — the cluster determinism story relies
+// on this.
+func TestFaultDrawsDeterministicPerKey(t *testing.T) {
+	plan := faults.Plan{Seed: 3, RegistryTimeout: faults.SiteSpec{Probability: 0.5}}
+	run := func(noise bool) []bool {
+		c, reg := faultyCache(t, plan)
+		reg.RegisterSized("noise@medusa", 1<<20)
+		var out []bool
+		now := time.Duration(0)
+		for i := 0; i < 40; i++ {
+			if noise {
+				c.Fetch(now, "noise@medusa")
+				c.Discard("noise@medusa")
+			}
+			_, err := c.Fetch(now, "m@medusa")
+			out = append(out, err != nil)
+			c.Discard("m@medusa")
+			now += time.Hour
+		}
+		return out
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged with interleaved noise fetches", i)
+		}
+	}
+}

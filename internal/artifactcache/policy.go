@@ -24,6 +24,7 @@ const (
 // PolicyKinds lists every policy in comparison order.
 func PolicyKinds() []PolicyKind { return []PolicyKind{PolicyLRU, PolicyLFU, PolicyCostAware} }
 
+// String names the policy as ParsePolicy accepts it.
 func (k PolicyKind) String() string {
 	switch k {
 	case PolicyLRU:

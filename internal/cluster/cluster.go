@@ -22,6 +22,7 @@ import (
 
 	"github.com/medusa-repro/medusa/internal/artifactcache"
 	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/faults"
 	"github.com/medusa-repro/medusa/internal/metrics"
 	"github.com/medusa-repro/medusa/internal/obs"
 	"github.com/medusa-repro/medusa/internal/serverless"
@@ -67,6 +68,14 @@ type Config struct {
 	// spans (as the single-pool simulator records) plus per-node cache
 	// fetch spans on "storage/cache/node<N>" tracks.
 	Tracer *obs.Tracer
+	// Faults, when set to a nonzero plan, injects deterministic faults
+	// (artifact corruption, registry fetch timeouts, SSD read errors,
+	// restore-validation mismatches, node crashes) into the run. Every
+	// injected fault is survivable: launches degrade to the vanilla
+	// cold-start stages and crashed nodes' work is re-placed. Nil or a
+	// zero plan leaves the simulation bit-identical to a fault-free
+	// build. See FAILURES.md for the full catalog.
+	Faults *faults.Plan
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -94,6 +103,21 @@ func (c Config) withDefaults() (Config, error) {
 	if len(c.Deployments) == 0 {
 		return c, fmt.Errorf("cluster: no deployments")
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return c, err
+		}
+		crashed := make(map[int]bool)
+		for _, nc := range c.Faults.NodeCrashes {
+			if nc.Node >= c.Nodes {
+				return c, fmt.Errorf("cluster: fault plan crashes node %d of a %d-node fleet", nc.Node, c.Nodes)
+			}
+			crashed[nc.Node] = true
+		}
+		if len(crashed) >= c.Nodes {
+			return c, fmt.Errorf("cluster: fault plan crashes all %d nodes; at least one must survive", c.Nodes)
+		}
+	}
 	return c, nil
 }
 
@@ -120,6 +144,9 @@ type DeploymentResult struct {
 	Completed int
 	// ColdStarts counts instance launches.
 	ColdStarts int
+	// Degraded counts launches that fell back to the vanilla cold-start
+	// stages after an injected fault (0 without a fault plan).
+	Degraded int
 	// ColdStartPhases attributes every launch exclusively across
 	// runtime init, artifact fetch and the strategy's loading stages;
 	// its Total equals ColdStartTotal exactly.
@@ -136,6 +163,8 @@ type NodeResult struct {
 	ID int
 	// Launches counts instances placed on the node.
 	Launches int
+	// Crashed reports whether a fault plan killed the node mid-run.
+	Crashed bool
 	// Cache is the node's tiered-cache traffic.
 	Cache artifactcache.Stats
 }
@@ -156,6 +185,13 @@ type Result struct {
 	Metrics *obs.Registry
 	// TotalColdStarts counts launches across deployments.
 	TotalColdStarts int
+	// Degraded counts launches that survived an injected fault by
+	// degrading to the vanilla cold-start stages.
+	Degraded int
+	// Requeued counts requests re-placed after their node crashed.
+	Requeued int
+	// NodeCrashes counts nodes the fault plan killed.
+	NodeCrashes int
 	// GPUSeconds is total provisioned GPU time across the fleet.
 	GPUSeconds float64
 	// Makespan spans simulation start to the last completion.
@@ -172,9 +208,17 @@ func Run(cfg Config) (*Result, error) {
 	registry := artifactcache.NewRegistry(cfg.Network)
 	clusterReg := obs.NewRegistry()
 	sim := &simulation{cfg: cfg, reg: clusterReg}
+	if cfg.Faults != nil {
+		inj, err := faults.NewInjector(*cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		sim.inj = inj // nil for a zero plan: the fault paths vanish
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		cache := artifactcache.NewNodeCache(fmt.Sprintf("node%d", i), cfg.Cache, registry)
 		cache.SetObs(cfg.Tracer, clusterReg)
+		cache.SetFaults(sim.inj)
 		sim.nodes = append(sim.nodes, &nodeState{id: i, warmLeft: -1, cache: cache})
 		if cfg.WarmContainersPerNode > 0 {
 			sim.nodes[i].warmLeft = cfg.WarmContainersPerNode
@@ -216,11 +260,28 @@ func Run(cfg Config) (*Result, error) {
 		if name == "" {
 			name = fmt.Sprintf("deployment-%d", di)
 		}
+		// Under a nonzero fault plan, every artifact-based deployment gets
+		// a vanilla fallback profile so a failed or untrusted restore can
+		// degrade instead of aborting (§4's fallback path). The fallback
+		// reads weights from the model store, not the artifact registry.
+		var fallback *serverless.Profile
+		if sim.inj != nil && dcfg.Strategy.NeedsArtifact() {
+			fcfg := dcfg
+			fcfg.Strategy = engine.StrategyVLLM
+			fcfg.Artifact = nil
+			fcfg.ArtifactBytes = 0
+			fcfg.ArtifactPreloaded = false
+			fallback, err = serverless.NewProfile(fcfg)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: profiling %s fallback: %w", dep.Name, err)
+			}
+		}
 		d := &depState{
 			cfg:      dcfg,
 			prof:     prof,
 			name:     name,
 			key:      key,
+			fallback: fallback,
 			reg:      obs.NewRegistry(),
 			phases:   obs.NewPhaseBreakdown(),
 			firstArr: dep.Requests[0].Arrival,

@@ -9,6 +9,9 @@ import (
 // simulation outcome, used by the determinism tests (byte-identical
 // across repetitions and GOMAXPROCS) and printed by medusa-simulate.
 func (r *Result) Render() string {
+	// Fault lines only appear under a nonzero plan so that fault-free
+	// output stays byte-identical to builds without fault injection.
+	withFaults := r.Config.Faults != nil && !r.Config.Faults.Zero()
 	var b strings.Builder
 	fmt.Fprintf(&b, "cluster: %d nodes × %d GPUs, policy %v, locality %.2f\n",
 		r.Config.Nodes, r.Config.GPUsPerNode, r.Config.Cache.Policy, r.Config.LocalityWeight)
@@ -18,18 +21,39 @@ func (r *Result) Render() string {
 		if d.ColdStart.Len() > 0 {
 			fmt.Fprintf(&b, "  cold start p50 %-12v p99 %-12v\n", d.ColdStart.P50(), d.ColdStart.P99())
 		}
+		if withFaults {
+			fmt.Fprintf(&b, "  degraded %d (corrupt %d mismatch %d timeout %d)\n",
+				d.Degraded,
+				int(d.Metrics.Counter("degraded_artifact_corrupt").Value()),
+				int(d.Metrics.Counter("degraded_restore_mismatch").Value()),
+				int(d.Metrics.Counter("degraded_fetch_timeout").Value()))
+		}
 		for _, p := range sortedPhases(d.ColdStartPhases) {
 			fmt.Fprintf(&b, "  phase %-26s %v\n", p, d.ColdStartPhases.Duration(p))
 		}
 	}
 	for _, n := range r.PerNode {
 		c := n.Cache
-		fmt.Fprintf(&b, "node %d: launches %4d  cache ram %d ssd %d miss %d coalesced %d evict %d/%d bytes %d\n",
+		crashed := ""
+		if n.Crashed {
+			crashed = "  CRASHED"
+		}
+		fmt.Fprintf(&b, "node %d: launches %4d  cache ram %d ssd %d miss %d coalesced %d evict %d/%d bytes %d%s\n",
 			n.ID, n.Launches, c.RAMHits, c.SSDHits, c.Misses, c.Coalesced,
-			c.RAMEvictions, c.SSDEvictions, c.BytesFetched)
+			c.RAMEvictions, c.SSDEvictions, c.BytesFetched, crashed)
 	}
 	fmt.Fprintf(&b, "cache total: requests %d hit_rate %.1f%% coalesced %d bytes_fetched %d\n",
 		r.Cache.Requests(), r.Cache.HitRate()*100, r.Cache.Coalesced, r.Cache.BytesFetched)
+	if withFaults {
+		rate := 0.0
+		if r.TotalColdStarts > 0 {
+			rate = float64(r.Degraded) / float64(r.TotalColdStarts) * 100
+		}
+		fmt.Fprintf(&b, "faults: degraded %d/%d (%.1f%%)  requeued %d  node_crashes %d  lost_cold_starts %d  fetch_timeouts %d  ssd_read_errors %d\n",
+			r.Degraded, r.TotalColdStarts, rate, r.Requeued, r.NodeCrashes,
+			int(r.Metrics.Counter("lost_cold_starts").Value()),
+			r.Cache.TimedOut, r.Cache.SSDReadErrors)
+	}
 	fmt.Fprintf(&b, "cold starts %d  gpu_seconds %.3f  makespan %v\n",
 		r.TotalColdStarts, r.GPUSeconds, r.Makespan)
 	return b.String()

@@ -8,6 +8,7 @@ import (
 
 	"github.com/medusa-repro/medusa/internal/artifactcache"
 	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/faults"
 	"github.com/medusa-repro/medusa/internal/obs"
 	"github.com/medusa-repro/medusa/internal/serverless"
 	"github.com/medusa-repro/medusa/internal/workload"
@@ -27,6 +28,7 @@ const (
 	evInstanceReady
 	evIterationEnd
 	evIdleCheck
+	evNodeCrash
 )
 
 type event struct {
@@ -34,6 +36,7 @@ type event struct {
 	kind eventKind
 	req  int
 	inst int
+	node int
 	seq  int
 }
 
@@ -77,6 +80,9 @@ type instState struct {
 	retiredAt  time.Duration
 	kvTokens   int
 	captured   map[int]bool
+	// degraded records the fault reason when the launch fell back to the
+	// vanilla cold-start profile ("" for a clean Medusa launch).
+	degraded string
 }
 
 // nodeState is one fleet node: a GPU budget, a warm-container pool and
@@ -86,6 +92,7 @@ type nodeState struct {
 	gpusUsed int
 	warmLeft int // -1 = unbounded
 	launches int
+	crashed  bool
 	cache    *artifactcache.NodeCache
 }
 
@@ -97,6 +104,9 @@ type depState struct {
 	// key is the deployment's artifact-cache key ("" when the strategy
 	// fetches no artifact through the cache).
 	key string
+	// fallback is the vanilla cold-start profile degraded launches use
+	// (nil when no injector is attached or the strategy has no artifact).
+	fallback *serverless.Profile
 
 	pending  []*reqState
 	reg      *obs.Registry
@@ -115,6 +125,7 @@ func (d *depState) liveChanged() {
 type simulation struct {
 	cfg   Config
 	reg   *obs.Registry // cluster-wide (cache counters)
+	inj   *faults.Injector
 	nodes []*nodeState
 
 	deps      []*depState
@@ -157,6 +168,11 @@ func (s *simulation) run() (*Result, error) {
 	for i := range s.states {
 		s.schedule(s.states[i].Arrival, event{kind: evArrival, req: i})
 	}
+	if s.inj != nil {
+		for _, nc := range s.inj.CrashSchedule() {
+			s.schedule(nc.At.D(), event{kind: evNodeCrash, node: nc.Node})
+		}
+	}
 
 	for s.events.Len() > 0 {
 		ev := heap.Pop(&s.events).(event)
@@ -173,6 +189,11 @@ func (s *simulation) run() (*Result, error) {
 			}
 		case evInstanceReady:
 			inst := s.instances[ev.inst]
+			if inst.retired {
+				// The instance's node crashed mid-provisioning; the
+				// launch was already written off as lost.
+				break
+			}
 			inst.ready = true
 			s.markIdle(inst)
 			if err := s.dispatchIdle(); err != nil {
@@ -180,6 +201,10 @@ func (s *simulation) run() (*Result, error) {
 			}
 		case evIterationEnd:
 			if err := s.finishIteration(s.instances[ev.inst]); err != nil {
+				return nil, err
+			}
+		case evNodeCrash:
+			if err := s.crashNode(ev.node); err != nil {
 				return nil, err
 			}
 		case evIdleCheck:
@@ -212,6 +237,7 @@ func (s *simulation) assemble() *Result {
 	for _, d := range s.deps {
 		completed := int(d.reg.Counter("completed").Value())
 		coldStarts := int(d.reg.Counter("cold_starts").Value())
+		degraded := int(d.reg.Counter("degraded_cold_starts").Value())
 		out.PerDeployment = append(out.PerDeployment, &DeploymentResult{
 			Name:            d.name,
 			TTFT:            d.reg.Sample("ttft"),
@@ -219,15 +245,19 @@ func (s *simulation) assemble() *Result {
 			ColdStart:       d.reg.Sample("cold_start"),
 			Completed:       completed,
 			ColdStarts:      coldStarts,
+			Degraded:        degraded,
 			ColdStartPhases: d.phases,
 			ColdStartTotal:  d.csTotal,
 			Metrics:         d.reg,
 		})
 		out.TotalColdStarts += coldStarts
+		out.Degraded += degraded
 	}
+	out.Requeued = int(s.reg.Counter("requeued").Value())
+	out.NodeCrashes = int(s.reg.Counter("node_crashes").Value())
 	for _, n := range s.nodes {
 		st := n.cache.Stats()
-		out.PerNode = append(out.PerNode, NodeResult{ID: n.id, Launches: n.launches, Cache: st})
+		out.PerNode = append(out.PerNode, NodeResult{ID: n.id, Launches: n.launches, Crashed: n.crashed, Cache: st})
 		out.Cache.Add(st)
 	}
 	for _, inst := range s.instances {
@@ -296,7 +326,7 @@ func (s *simulation) placeNode(d *depState) *nodeState {
 	var best *nodeState
 	bestScore := 0.0
 	for _, n := range s.nodes {
-		if n.gpusUsed+d.cfg.TPDegree > s.cfg.GPUsPerNode {
+		if n.crashed || n.gpusUsed+d.cfg.TPDegree > s.cfg.GPUsPerNode {
 			continue
 		}
 		score := -float64(n.gpusUsed) / float64(s.cfg.GPUsPerNode)
@@ -349,22 +379,59 @@ func (s *simulation) launchOne(di int) (bool, error) {
 		node.warmLeft--
 	}
 	loadStart := riEnd
+	prof := d.prof
 	var fetch artifactcache.FetchResult
 	if d.key != "" {
 		var err error
 		fetch, err = node.cache.Fetch(s.now, d.key)
 		if err != nil {
-			return false, err
-		}
-		intervals = append(intervals, obs.Interval{
-			Phase: engine.StageArtifactFetch, Start: s.now, End: fetch.Ready})
-		if fetch.Ready > loadStart {
-			loadStart = fetch.Ready
+			// The registry fetch exhausted its retry budget. The failed
+			// attempts still burned virtual time (fetch.Ready marks the
+			// instant failure was known); the launch degrades to the
+			// vanilla stages, which read weights from the model store
+			// rather than the artifact registry.
+			reason, degradable := faults.DegradeReason(err)
+			if !degradable || d.fallback == nil {
+				return false, err
+			}
+			intervals = append(intervals, obs.Interval{
+				Phase: engine.StageRestoreFailed, Start: s.now, End: fetch.Ready})
+			if fetch.Ready > loadStart {
+				loadStart = fetch.Ready
+			}
+			s.degradeLaunch(d, inst, reason)
+			prof = d.fallback
+		} else {
+			intervals = append(intervals, obs.Interval{
+				Phase: engine.StageArtifactFetch, Start: s.now, End: fetch.Ready})
+			if fetch.Ready > loadStart {
+				loadStart = fetch.Ready
+			}
+			if s.inj != nil && d.fallback != nil {
+				if s.inj.Inject(faults.SiteArtifactCorrupt, d.key) {
+					// Checksum verification fails right after the read and
+					// decode: nothing beyond the fetch is wasted, but the
+					// untrusted cached copy must go.
+					node.cache.Discard(d.key)
+					s.degradeLaunch(d, inst, faults.ReasonCorruptArtifact)
+					prof = d.fallback
+				} else if s.inj.Inject(faults.SiteRestoreMismatch, d.key) {
+					// Validation rejects the restore only after the whole
+					// restore pipeline ran: the full Medusa loading phase
+					// is wasted before the vanilla stages start over.
+					wasted := d.prof.ColdStart()
+					intervals = append(intervals, obs.Interval{
+						Phase: engine.StageRestoreFailed, Start: loadStart, End: loadStart + wasted})
+					loadStart += wasted
+					s.degradeLaunch(d, inst, faults.ReasonRestoreMismatch)
+					prof = d.fallback
+				}
+			}
 		}
 	}
-	intervals = append(intervals, obs.TimelineIntervals(d.prof.Timeline(), loadStart)...)
+	intervals = append(intervals, obs.TimelineIntervals(prof.Timeline(), loadStart)...)
 	d.phases.AddExclusive(intervals)
-	ready := loadStart + d.prof.ColdStart()
+	ready := loadStart + prof.ColdStart()
 	d.csTotal += ready - s.now
 	d.reg.Sample("cold_start").Add(ready - s.now)
 	if tr := d.cfg.Tracer; tr != nil {
@@ -375,6 +442,9 @@ func (s *simulation) launchOne(di int) (bool, error) {
 			Attr("node", fmt.Sprintf("node%d", node.id))
 		if d.key != "" {
 			root.Attr("fetch_tier", fetch.Tier.String())
+		}
+		if inst.degraded != "" {
+			root.Attr("degraded_reason", inst.degraded)
 		}
 		for _, iv := range intervals {
 			root.Child(iv.Phase, iv.Start).Tag(iv.Phase).End(iv.End)
@@ -387,6 +457,75 @@ func (s *simulation) launchOne(di int) (bool, error) {
 
 func (s *simulation) instTrack(inst *instState) string {
 	return fmt.Sprintf("%s/node%d/inst-%d", s.deps[inst.dep].name, inst.node, inst.id)
+}
+
+// profOf resolves which profile governs an instance's serving costs: the
+// deployment's primary profile, or the vanilla fallback when the launch
+// degraded.
+func (s *simulation) profOf(inst *instState) *serverless.Profile {
+	d := s.deps[inst.dep]
+	if inst.degraded != "" && d.fallback != nil {
+		return d.fallback
+	}
+	return d.prof
+}
+
+// degradeLaunch records one launch's fall-back to the vanilla cold-start
+// stages, in both the deployment's and the cluster's registries.
+func (s *simulation) degradeLaunch(d *depState, inst *instState, reason string) {
+	inst.degraded = reason
+	d.reg.Counter("degraded_cold_starts").Inc()
+	d.reg.Counter("degraded_" + reason).Inc()
+	s.reg.Counter("degraded_cold_starts").Inc()
+	s.reg.Counter("faults_" + reason).Inc()
+}
+
+// crashNode kills one node at the plan's instant: its cache tiers are
+// lost, its instances (ready or mid-provisioning) retire, and every
+// request that was running on it is requeued onto the deployment's
+// pending queue for surviving nodes to pick up. TTFT is sampled at most
+// once per request, so a requeued request that already streamed tokens
+// does not re-enter the TTFT distribution.
+func (s *simulation) crashNode(id int) error {
+	node := s.nodes[id]
+	if node.crashed {
+		return nil
+	}
+	node.crashed = true
+	node.cache.MarkLost()
+	s.reg.Counter("node_crashes").Inc()
+	for _, inst := range s.instances {
+		if inst.node != id || inst.retired {
+			continue
+		}
+		d := s.deps[inst.dep]
+		inst.retired = true
+		inst.retiredAt = s.now
+		node.gpusUsed -= d.cfg.TPDegree
+		d.live--
+		d.liveChanged()
+		if !inst.ready {
+			// Mid-provisioning: the cold start is lost with the node. Its
+			// evInstanceReady event still fires and is ignored.
+			d.reg.Counter("lost_cold_starts").Inc()
+			s.reg.Counter("lost_cold_starts").Inc()
+		}
+		for _, r := range inst.running {
+			// Partial generation is lost: the request restarts from its
+			// first output token on whichever instance re-admits it.
+			r.emitted = 0
+			d.pending = append(d.pending, r)
+			d.reg.Counter("requeued").Inc()
+			s.reg.Counter("requeued").Inc()
+		}
+		inst.running = nil
+		inst.iterating = false
+		inst.kvTokens = 0
+	}
+	if err := s.autoscaleAll(); err != nil {
+		return err
+	}
+	return s.dispatchIdle()
 }
 
 func (s *simulation) dispatchIdle() error {
@@ -408,7 +547,7 @@ func (s *simulation) admit(inst *instState) []*reqState {
 	for len(d.pending) > 0 && len(inst.running) < d.cfg.MaxBatch {
 		r := d.pending[0]
 		need := r.PromptTokens + r.OutputTokens
-		if inst.kvTokens+need > d.prof.MaxKVTokens() {
+		if inst.kvTokens+need > s.profOf(inst).MaxKVTokens() {
 			break
 		}
 		d.pending = d.pending[1:]
@@ -434,8 +573,9 @@ func (s *simulation) startIteration(inst *instState) error {
 		return nil
 	}
 	var dur time.Duration
-	if d.prof.Deferred() {
-		gb, c, err := d.prof.CaptureCost(len(inst.running))
+	prof := s.profOf(inst)
+	if prof.Deferred() {
+		gb, c, err := prof.CaptureCost(len(inst.running))
 		if err != nil {
 			return err
 		}
@@ -448,13 +588,13 @@ func (s *simulation) startIteration(inst *instState) error {
 		}
 	}
 	for _, r := range admitted {
-		p, err := d.prof.Prefill(r.PromptTokens)
+		p, err := prof.Prefill(r.PromptTokens)
 		if err != nil {
 			return err
 		}
 		dur += p
 	}
-	step, err := d.prof.DecodeStep(len(inst.running))
+	step, err := prof.DecodeStep(len(inst.running))
 	if err != nil {
 		return err
 	}
@@ -475,6 +615,11 @@ func (s *simulation) startIteration(inst *instState) error {
 }
 
 func (s *simulation) finishIteration(inst *instState) error {
+	if inst.retired {
+		// The node crashed mid-iteration; the batch was requeued and the
+		// pending iteration-end event means nothing.
+		return nil
+	}
 	d := s.deps[inst.dep]
 	inst.iterating = false
 	keep := inst.running[:0]

@@ -1,0 +1,90 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ArtifactCorruptError reports that an artifact's bytes failed
+// checksum verification. Section names the first damaged wire section
+// when the decoder could localize it ("body" otherwise).
+type ArtifactCorruptError struct {
+	// Key identifies the artifact (model name or cache key).
+	Key string
+	// Section is the first wire section whose checksum mismatched.
+	Section string
+	// Detail carries the decoder's diagnostic.
+	Detail string
+}
+
+// Error implements error.
+func (e *ArtifactCorruptError) Error() string {
+	return fmt.Sprintf("faults: artifact %q corrupt in section %q: %s", e.Key, e.Section, e.Detail)
+}
+
+// FetchTimeoutError reports that a remote registry fetch exhausted its
+// retry budget, every attempt timing out.
+type FetchTimeoutError struct {
+	// Key identifies the artifact being fetched.
+	Key string
+	// Attempts is how many fetches were tried before giving up.
+	Attempts int
+}
+
+// Error implements error.
+func (e *FetchTimeoutError) Error() string {
+	return fmt.Sprintf("faults: fetch of %q timed out after %d attempts", e.Key, e.Attempts)
+}
+
+// ReadError reports that a local (SSD) read exhausted its retry
+// budget.
+type ReadError struct {
+	// Object identifies what was being read.
+	Object string
+	// Attempts is how many reads were tried before giving up.
+	Attempts int
+}
+
+// Error implements error.
+func (e *ReadError) Error() string {
+	return fmt.Sprintf("faults: read of %q failed after %d attempts", e.Object, e.Attempts)
+}
+
+// RestoreMismatchError reports that a Medusa restore's validation
+// diverged: the replayed allocation sequence no longer matches the
+// artifact, so the materialized state cannot be trusted (§4's trigger
+// for the vanilla-cold-start fallback).
+type RestoreMismatchError struct {
+	// Key identifies the artifact being restored.
+	Key string
+	// Label names the divergent structure (e.g. a graph or workspace).
+	Label string
+}
+
+// Error implements error.
+func (e *RestoreMismatchError) Error() string {
+	return fmt.Sprintf("faults: restore of %q diverged at %q; materialized state untrusted", e.Key, e.Label)
+}
+
+// DegradeReason maps an error to the DegradedReason a survivable
+// launch records, and reports whether the error is degradable at all.
+// Non-degradable errors (nil, or genuine bugs) propagate as failures.
+func DegradeReason(err error) (string, bool) {
+	var corrupt *ArtifactCorruptError
+	if errors.As(err, &corrupt) {
+		return ReasonCorruptArtifact, true
+	}
+	var timeout *FetchTimeoutError
+	if errors.As(err, &timeout) {
+		return ReasonFetchTimeout, true
+	}
+	var read *ReadError
+	if errors.As(err, &read) {
+		return ReasonSSDReadFailed, true
+	}
+	var mismatch *RestoreMismatchError
+	if errors.As(err, &mismatch) {
+		return ReasonRestoreMismatch, true
+	}
+	return "", false
+}

@@ -120,7 +120,9 @@ type Artifact struct {
 }
 
 // CurrentFormatVersion is the artifact wire version this build writes.
-const CurrentFormatVersion = 1
+// v2 added the per-section checksum trailer that lets the decoder name
+// the first damaged section of a corrupt artifact (see wire.go).
+const CurrentFormatVersion = 2
 
 // Graph returns the record for a batch size.
 func (a *Artifact) Graph(batch int) (*GraphRecord, bool) {

@@ -2,10 +2,13 @@ package medusa
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
+
+	"github.com/medusa-repro/medusa/internal/faults"
 )
 
 // FuzzDecode hardens the artifact parser: arbitrary bytes must never
@@ -129,6 +132,88 @@ func buildFuzzArtifact(rng *rand.Rand, nAlloc, nGraphs, nKernels int, omitConten
 	}
 	a.KV = KVRecord{FreeMemBytes: uint64(rng.Int63()), NumBlocks: rng.Intn(1 << 16), BlockBytes: uint64(rng.Intn(1 << 24))}
 	return a
+}
+
+// FuzzDecodeCorrupted hardens the decoder against damage to otherwise
+// valid artifacts: construct a valid artifact, flip one fuzzed byte
+// (and optionally truncate), and require Decode to return an error —
+// never a panic, and never a silently wrong artifact. Flips inside the
+// body must be caught by a checksum and surface as the typed
+// *faults.ArtifactCorruptError the degradation paths dispatch on.
+func FuzzDecodeCorrupted(f *testing.F) {
+	f.Add(int64(1), uint32(20), uint8(0xff), uint16(0))
+	f.Add(int64(2), uint32(0), uint8(1), uint16(0))
+	f.Add(int64(3), uint32(5), uint8(0x80), uint16(4))
+	f.Add(int64(4), uint32(1<<31), uint8(7), uint16(100))
+
+	f.Fuzz(func(t *testing.T, seed int64, pos uint32, mask uint8, truncate uint16) {
+		rng := rand.New(rand.NewSource(seed))
+		art := buildFuzzArtifact(rng, 3, 2, 2, false)
+		raw, err := art.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mask == 0 {
+			mask = 1 // guarantee the flip changes the byte
+		}
+		idx := int(pos % uint32(len(raw)))
+		mut := append([]byte(nil), raw...)
+		mut[idx] ^= mask
+		if truncate > 0 {
+			mut = mut[:len(mut)-int(uint32(truncate)%uint32(len(mut)))]
+		}
+		decoded, err := Decode(mut)
+		if err == nil {
+			t.Fatalf("corrupting byte %d (mask %#x, truncate %d) decoded cleanly: %+v", idx, mask, truncate, decoded)
+		}
+		// An untruncated flip inside the body leaves structure intact, so
+		// it must be caught by checksum and reported as the typed error.
+		if truncate == 0 && idx >= 16 {
+			var corrupt *faults.ArtifactCorruptError
+			if !errors.As(err, &corrupt) {
+				t.Fatalf("body flip at %d surfaced %T (%v), want *faults.ArtifactCorruptError", idx, err, err)
+			}
+			if corrupt.Section == "" {
+				t.Fatalf("corrupt error without a section: %v", corrupt)
+			}
+		}
+	})
+}
+
+// TestDecodeCorruptLocalizesSection pins the v2 trailer's purpose: a
+// byte flip inside a known section is attributed to that section.
+func TestDecodeCorruptLocalizesSection(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	art := buildFuzzArtifact(rng, 4, 3, 3, false)
+	raw, err := art.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sections, err := art.SectionSizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := 0
+	for _, sec := range sections {
+		start, end := off, off+int(sec.Bytes)
+		off = end
+		if sec.Name == "envelope" || sec.Name == "section_crcs" || sec.Bytes == 0 {
+			continue
+		}
+		mut := append([]byte(nil), raw...)
+		mut[start+int(sec.Bytes)/2] ^= 0x55
+		_, err := Decode(mut)
+		var corrupt *faults.ArtifactCorruptError
+		if !errors.As(err, &corrupt) {
+			t.Fatalf("flip in %s: got %T (%v), want ArtifactCorruptError", sec.Name, err, err)
+		}
+		if corrupt.Section != sec.Name {
+			t.Errorf("flip in %s attributed to %q", sec.Name, corrupt.Section)
+		}
+	}
+	if off != len(raw) {
+		t.Fatalf("SectionSizes covered %d of %d bytes", off, len(raw))
+	}
 }
 
 // FuzzArtifactRoundTrip is the structure-aware complement to FuzzDecode:

@@ -6,16 +6,35 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sort"
+
+	"github.com/medusa-repro/medusa/internal/faults"
 )
 
-// Artifact wire format:
+// Artifact wire format (v2):
 //
 //	"MDSA" | u32 version | u32 bodyLen | u32 crc32(body) | body
 //
-// The body is a flat little-endian encoding of the artifact. A CRC
-// guards against torn or corrupted artifact files: restoring from a
-// damaged artifact must fail loudly, never silently build wrong graphs.
+// The body is a flat little-endian encoding of the artifact's six
+// sections followed by a checksum trailer:
+//
+//	header | alloc_seq | graphs | kernel_table | permanent | kv_record
+//	| u8 sectionCount | sectionCount × u32 crc32(section)
+//
+// The envelope CRC guards against torn or corrupted artifact files:
+// restoring from a damaged artifact must fail loudly, never silently
+// build wrong graphs. The per-section trailer (new in v2) lets the
+// decoder name the first damaged section, so a corrupt restore
+// surfaces a *faults.ArtifactCorruptError pinpointing what was lost
+// rather than an opaque checksum failure.
 var wireMagic = [4]byte{'M', 'D', 'S', 'A'}
+
+// numBodySections is the fixed count of checksummed body sections.
+const numBodySections = 6
+
+// bodySectionNames lists the checksummed body sections in wire order.
+var bodySectionNames = [numBodySections]string{
+	"header", "alloc_seq", "graphs", "kernel_table", "permanent", "kv_record",
+}
 
 type wireWriter struct {
 	buf bytes.Buffer
@@ -176,10 +195,28 @@ func (a *Artifact) encodeBody(w *wireWriter, mark func(section string)) {
 	mark("kv_record")
 }
 
+// encodeBodyChecksummed writes the body sections via encodeBody, then
+// appends the v2 per-section checksum trailer. mark fires after each
+// section and once more for the trailer itself ("section_crcs").
+func (a *Artifact) encodeBodyChecksummed(w *wireWriter, mark func(section string)) {
+	crcs := make([]uint32, 0, numBodySections)
+	last := 0
+	a.encodeBody(w, func(section string) {
+		crcs = append(crcs, crc32.ChecksumIEEE(w.buf.Bytes()[last:]))
+		last = w.buf.Len()
+		mark(section)
+	})
+	w.u8(uint8(len(crcs)))
+	for _, c := range crcs {
+		w.u32(c)
+	}
+	mark("section_crcs")
+}
+
 // Section is one wire-format section's share of an encoded artifact.
 type Section struct {
 	// Name is the section ("envelope", "header", "alloc_seq", "graphs",
-	// "kernel_table", "permanent", "kv_record").
+	// "kernel_table", "permanent", "kv_record", "section_crcs").
 	Name string
 	// Bytes is the section's encoded size.
 	Bytes uint64
@@ -195,7 +232,7 @@ func (a *Artifact) SectionSizes() ([]Section, error) {
 	var w wireWriter
 	out := []Section{{Name: "envelope", Bytes: 16}}
 	last := 0
-	a.encodeBody(&w, func(section string) {
+	a.encodeBodyChecksummed(&w, func(section string) {
 		out = append(out, Section{Name: section, Bytes: uint64(w.buf.Len() - last)})
 		last = w.buf.Len()
 	})
@@ -208,7 +245,7 @@ func (a *Artifact) Encode() ([]byte, error) {
 		return nil, fmt.Errorf("medusa: refusing to encode inconsistent artifact: %w", err)
 	}
 	var w wireWriter
-	a.encodeBody(&w, func(string) {})
+	a.encodeBodyChecksummed(&w, func(string) {})
 
 	body := w.buf.Bytes()
 	out := make([]byte, 0, len(body)+16)
@@ -220,7 +257,13 @@ func (a *Artifact) Encode() ([]byte, error) {
 	return out, nil
 }
 
-// Decode parses an artifact, verifying magic, version, and checksum.
+// Decode parses an artifact, verifying magic, version, the envelope
+// checksum, and every per-section checksum. Checksum failures return a
+// *faults.ArtifactCorruptError naming the first damaged section (best
+// effort — "body" when the damage prevents even locating sections);
+// structural failures (truncation, limit violations, trailing bytes)
+// return descriptive plain errors. Decode never panics, whatever the
+// input.
 func Decode(p []byte) (*Artifact, error) {
 	if len(p) < 16 {
 		return nil, fmt.Errorf("medusa: artifact of %d bytes is shorter than its header", len(p))
@@ -239,14 +282,75 @@ func Decode(p []byte) (*Artifact, error) {
 	}
 	body := p[16:]
 	if got := crc32.ChecksumIEEE(body); got != wantCRC {
-		return nil, fmt.Errorf("medusa: artifact checksum mismatch: %#x != %#x (corrupted?)", got, wantCRC)
+		return nil, corruptError(body, fmt.Sprintf("envelope checksum mismatch: %#x != %#x", got, wantCRC))
+	}
+
+	a, ends, crcs, err := parseBody(body)
+	if err != nil {
+		return nil, err
+	}
+	if section, ok := verifySectionCRCs(body, ends, crcs); !ok {
+		return nil, &faults.ArtifactCorruptError{
+			Key:     a.ModelName,
+			Section: section,
+			Detail:  "section checksum mismatch",
+		}
+	}
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// corruptError builds the ArtifactCorruptError for a body that failed
+// the envelope checksum, localizing the damage to the first section
+// whose trailer CRC mismatches when the body is still structurally
+// parseable, and falling back to "body" when it is not.
+func corruptError(body []byte, detail string) error {
+	section, key := "body", ""
+	if a, ends, crcs, err := parseBody(body); err == nil {
+		key = a.ModelName
+		if bad, ok := verifySectionCRCs(body, ends, crcs); !ok {
+			section = bad
+		}
+	}
+	return &faults.ArtifactCorruptError{Key: key, Section: section, Detail: detail}
+}
+
+// verifySectionCRCs recomputes each body section's checksum against
+// the trailer, returning the first mismatching section's name.
+func verifySectionCRCs(body []byte, ends [numBodySections]int, crcs [numBodySections]uint32) (string, bool) {
+	start := 0
+	for i, end := range ends {
+		if crc32.ChecksumIEEE(body[start:end]) != crcs[i] {
+			return bodySectionNames[i], false
+		}
+		start = end
+	}
+	return "", true
+}
+
+// parseBody decodes the six body sections and the checksum trailer,
+// returning the artifact, each section's end offset, and the trailer's
+// stored checksums. It performs no checksum verification and no
+// semantic validation — Decode layers those on top.
+func parseBody(body []byte) (*Artifact, [numBodySections]int, [numBodySections]uint32, error) {
+	var ends [numBodySections]int
+	var crcs [numBodySections]uint32
+	sec := 0
+	endSection := func(r *wireReader) {
+		if r.err == nil && sec < numBodySections {
+			ends[sec] = r.off
+			sec++
+		}
 	}
 
 	r := &wireReader{p: body}
-	a := &Artifact{FormatVersion: version, Kernels: make(map[string]KernelLoc)}
+	a := &Artifact{FormatVersion: CurrentFormatVersion, Kernels: make(map[string]KernelLoc)}
 	a.ModelName = r.str("model name")
 	a.AllocCount = int(r.u32())
 	a.PrefixLen = int(r.u32())
+	endSection(r)
 
 	nEvents := r.u32()
 	if nEvents > 1<<24 {
@@ -260,6 +364,7 @@ func Decode(p []byte) (*Artifact, error) {
 		ev.Label = r.str("alloc label")
 		a.AllocSeq = append(a.AllocSeq, ev)
 	}
+	endSection(r)
 
 	nGraphs := r.u32()
 	if nGraphs > 1<<16 {
@@ -298,6 +403,7 @@ func Decode(p []byte) (*Artifact, error) {
 		}
 		a.Graphs = append(a.Graphs, g)
 	}
+	endSection(r)
 
 	nKernels := r.u32()
 	if nKernels > 1<<20 {
@@ -309,6 +415,7 @@ func Decode(p []byte) (*Artifact, error) {
 		exported := r.boolean()
 		a.Kernels[name] = KernelLoc{Library: lib, Exported: exported}
 	}
+	endSection(r)
 
 	nPerm := r.u32()
 	if nPerm > 1<<22 {
@@ -323,19 +430,25 @@ func Decode(p []byte) (*Artifact, error) {
 		}
 		a.Permanent = append(a.Permanent, pr)
 	}
+	endSection(r)
 
 	a.KV.FreeMemBytes = r.u64()
 	a.KV.NumBlocks = int(r.u32())
 	a.KV.BlockBytes = r.u64()
+	endSection(r)
+
+	if n := r.u8(); n != numBodySections && r.err == nil {
+		r.fail("checksum trailer lists %d sections, want %d", n, numBodySections)
+	}
+	for i := 0; i < numBodySections; i++ {
+		crcs[i] = r.u32()
+	}
 
 	if r.err != nil {
-		return nil, r.err
+		return nil, ends, crcs, r.err
 	}
 	if r.off != len(body) {
-		return nil, fmt.Errorf("medusa: %d trailing bytes after artifact body", len(body)-r.off)
+		return nil, ends, crcs, fmt.Errorf("medusa: %d trailing bytes after artifact body", len(body)-r.off)
 	}
-	if err := a.validate(); err != nil {
-		return nil, err
-	}
-	return a, nil
+	return a, ends, crcs, nil
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/faults"
 	"github.com/medusa-repro/medusa/internal/medusa"
 	"github.com/medusa-repro/medusa/internal/metrics"
 	"github.com/medusa-repro/medusa/internal/model"
@@ -55,6 +56,7 @@ type ConfigError struct {
 	Reason string
 }
 
+// Error implements error.
 func (e *ConfigError) Error() string {
 	return fmt.Sprintf("serverless: invalid %s: %s", e.Field, e.Reason)
 }
@@ -67,9 +69,11 @@ type Config struct {
 	Strategy engine.Strategy
 	// Store holds weights and artifacts.
 	Store *storage.Store
-	// Artifact (plus its encoded size) is required for strategies whose
-	// descriptor reports NeedsArtifact.
-	Artifact      *medusa.Artifact
+	// Artifact is required for strategies whose descriptor reports
+	// NeedsArtifact.
+	Artifact *medusa.Artifact
+	// ArtifactBytes is the encoded artifact's size (what storage and
+	// cache transfers charge); zero means "encode to measure".
 	ArtifactBytes uint64
 	// ArtifactPreloaded marks the encoded artifact as already in host
 	// memory when loading begins. The cluster simulator sets it: its
@@ -104,6 +108,14 @@ type Config struct {
 	// cold starts with phase children, per-iteration serving spans, and
 	// per-request queueing. All timestamps are simulation-virtual.
 	Tracer *obs.Tracer
+	// Faults, when set to a nonzero plan, injects deterministic faults
+	// into artifact-based launches: SSD read errors (retried with
+	// backoff, then degrade), artifact corruption and restore-validation
+	// mismatches (degrade to the vanilla cold-start stages). The
+	// single-pool simulator has no registry or nodes, so RegistryTimeout
+	// and NodeCrashes entries are ignored here; the cluster simulator
+	// exercises them. Nil or a zero plan changes nothing.
+	Faults *faults.Plan
 }
 
 // Validate checks the configuration's invariants as-is, without
@@ -215,6 +227,10 @@ type Result struct {
 	Throughput float64
 	// ColdStarts counts instance launches.
 	ColdStarts int
+	// Degraded counts launches that survived an injected fault by
+	// falling back to the vanilla cold-start stages (0 without a fault
+	// plan).
+	Degraded int
 	// PeakInstances is the maximum concurrently provisioned instances.
 	PeakInstances int
 	// ColdStartPhases is the exclusive per-phase attribution of every
@@ -381,6 +397,9 @@ type MultiConfig struct {
 	WarmContainers int
 	// Deployments are the co-located models.
 	Deployments []Deployment
+	// Faults applies one fault plan to every deployment's launches (see
+	// Config.Faults for which sites the single-pool simulator honors).
+	Faults *faults.Plan
 }
 
 // MultiResult aggregates a shared-cluster simulation.
@@ -409,6 +428,13 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 	if cfg.WarmContainers > 0 {
 		sim.warmLeft = cfg.WarmContainers
 	}
+	if cfg.Faults != nil {
+		inj, err := faults.NewInjector(*cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		sim.inj = inj // nil for a zero plan: the fault paths vanish
+	}
 	for di, dep := range cfg.Deployments {
 		if len(dep.Requests) == 0 {
 			return nil, fmt.Errorf("serverless: deployment %d (%s) has an empty trace", di, dep.Name)
@@ -427,9 +453,40 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 		if name == "" {
 			name = fmt.Sprintf("deployment-%d", di)
 		}
+		// Under a nonzero fault plan, artifact-based deployments get a
+		// vanilla fallback profile so a failed or untrusted restore
+		// degrades instead of aborting (§4's fallback path). The artifact
+		// read duration stands in for one failed read attempt's cost.
+		var fallback *profile
+		var artRead time.Duration
+		fkey := ""
+		if sim.inj != nil && dcfg.Strategy.NeedsArtifact() && dcfg.TPDegree <= 1 {
+			fcfg := dcfg
+			fcfg.Strategy = engine.StrategyVLLM
+			fcfg.Artifact = nil
+			fcfg.ArtifactBytes = 0
+			fcfg.ArtifactPreloaded = false
+			fallback, err = buildProfile(fcfg)
+			if err != nil {
+				return nil, fmt.Errorf("serverless: profiling %s fallback: %w", dep.Name, err)
+			}
+			size := dcfg.ArtifactBytes
+			if size == 0 && dcfg.Artifact != nil {
+				enc, err := dcfg.Artifact.Encode()
+				if err != nil {
+					return nil, fmt.Errorf("serverless: encoding %s artifact: %w", dep.Name, err)
+				}
+				size = uint64(len(enc))
+			}
+			artRead = dcfg.Store.Array().ReadDuration(size)
+			fkey = dcfg.Model.Name + "@" + dcfg.Strategy.String()
+		}
 		d := &depState{
 			cfg:      dcfg,
 			prof:     prof,
+			fallback: fallback,
+			fkey:     fkey,
+			artRead:  artRead,
 			name:     name,
 			reg:      obs.NewRegistry(),
 			phases:   obs.NewPhaseBreakdown(),
@@ -462,6 +519,7 @@ func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 		NumGPUs:        cfg.NumGPUs,
 		WarmContainers: cfg.WarmContainers,
 		Deployments:    []Deployment{{Name: cfg.Model.Name, Config: cfg, Requests: reqs}},
+		Faults:         cfg.Faults,
 	})
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/faults"
 	"github.com/medusa-repro/medusa/internal/metrics"
 	"github.com/medusa-repro/medusa/internal/obs"
 	"github.com/medusa-repro/medusa/internal/workload"
@@ -77,6 +78,9 @@ type instState struct {
 	// captured tracks graph sizes this instance has lazily captured
 	// (deferred-capture strategy only).
 	captured map[int]bool
+	// degraded records the fault reason when the launch fell back to
+	// the vanilla cold-start profile ("" for a clean launch).
+	degraded string
 }
 
 // depState is one deployment's queue, profile and metrics. All
@@ -87,6 +91,13 @@ type depState struct {
 	cfg  Config
 	prof *profile
 	name string
+	// fallback is the vanilla profile degraded launches serve with (nil
+	// when no injector is attached or the strategy has no artifact);
+	// fkey namespaces the deployment's fault draws and artRead is the
+	// virtual cost of one (possibly failed) artifact read attempt.
+	fallback *profile
+	fkey     string
+	artRead  time.Duration
 
 	pending  []*reqState
 	reg      *obs.Registry
@@ -108,6 +119,7 @@ func (d *depState) liveChanged() {
 type simulation struct {
 	numGPUs  int
 	warmLeft int // remaining warm containers (-1 = unbounded)
+	inj      *faults.Injector
 
 	deps      []*depState
 	instances []*instState
@@ -219,6 +231,7 @@ func (s *simulation) assemble() *MultiResult {
 			Makespan:        d.lastDone - d.firstArr,
 			Throughput:      metrics.Throughput(completed, d.lastDone-d.firstArr),
 			ColdStarts:      coldStarts,
+			Degraded:        int(d.reg.Counter("degraded_cold_starts").Value()),
 			PeakInstances:   int(d.reg.Gauge("live_instances").Max()),
 			ColdStartPhases: d.phases,
 			ColdStartTotal:  d.csTotal,
@@ -285,27 +298,50 @@ func (s *simulation) launchOne(di int) bool {
 	d.reg.Counter("cold_starts").Inc()
 	d.live++
 	d.liveChanged()
-	start := d.prof.coldStart
 	offset := s.now
 	intervals := make([]obs.Interval, 0, 8)
 	if s.warmLeft == 0 {
 		// Warm pool exhausted: this launch also initializes its
 		// execution environment (container, Python, framework).
-		start += runtimeInitDuration
 		intervals = append(intervals, obs.Interval{
 			Phase: engine.StageRuntimeInit, Start: offset, End: offset + runtimeInitDuration})
 		offset += runtimeInitDuration
 	} else if s.warmLeft > 0 {
 		s.warmLeft--
 	}
-	intervals = append(intervals, obs.TimelineIntervals(d.prof.timeline, offset)...)
+	prof := d.prof
+	if d.fallback != nil {
+		wasted, reason := s.rollLaunchFaults(d)
+		if reason != "" {
+			// The failed Medusa attempt's time is charged up front, then
+			// the vanilla stages start over (§4's fallback).
+			inst.degraded = reason
+			d.reg.Counter("degraded_cold_starts").Inc()
+			d.reg.Counter("degraded_" + reason).Inc()
+			intervals = append(intervals, obs.Interval{
+				Phase: engine.StageRestoreFailed, Start: offset, End: offset + wasted})
+			offset += wasted
+			prof = d.fallback
+		} else if wasted > 0 {
+			// Transient read errors retried into a success: the launch is
+			// late but still restores from the artifact.
+			intervals = append(intervals, obs.Interval{
+				Phase: engine.StageArtifactFetch, Start: offset, End: offset + wasted})
+			offset += wasted
+		}
+	}
+	intervals = append(intervals, obs.TimelineIntervals(prof.timeline, offset)...)
 	d.phases.AddExclusive(intervals)
+	start := (offset - s.now) + prof.coldStart
 	d.csTotal += start
 	if tr := d.cfg.Tracer; tr != nil {
 		root := tr.StartSpan(s.instTrack(inst), "cold_start", s.now).
 			Tag("cold_start").
 			Attr("strategy", d.cfg.Strategy.String()).
 			Attr("model", d.cfg.Model.Name)
+		if inst.degraded != "" {
+			root.Attr("degraded_reason", inst.degraded)
+		}
 		for _, iv := range intervals {
 			root.Child(iv.Phase, iv.Start).Tag(iv.Phase).End(iv.End)
 		}
@@ -315,9 +351,58 @@ func (s *simulation) launchOne(di int) bool {
 	return true
 }
 
+// rollLaunchFaults draws this launch's fault outcomes. It returns the
+// wasted virtual time and a non-empty degradation reason when the
+// Medusa restore must be abandoned; with reason == "" the returned
+// delay is transient read-retry time before a successful restore.
+// Sites map onto the single-pool world as follows: the artifact read
+// from local storage is SiteSSDRead (retried with backoff up to the
+// plan's budget), a read that succeeds can still hand over corrupt
+// bytes (SiteArtifactCorrupt, caught by checksum right after the read)
+// or a restore that fails validation (SiteRestoreMismatch, caught only
+// after the whole restore ran).
+func (s *simulation) rollLaunchFaults(d *depState) (time.Duration, string) {
+	var delay time.Duration
+	attempts := s.inj.MaxAttempts()
+	for attempt := 0; ; attempt++ {
+		if !s.inj.Inject(faults.SiteSSDRead, d.fkey) {
+			break
+		}
+		delay += d.artRead
+		d.reg.Counter("faults_ssd_read").Inc()
+		if attempt >= attempts-1 {
+			return delay, faults.ReasonSSDReadFailed
+		}
+		delay += s.inj.Backoff(faults.SiteSSDRead, d.fkey, attempt)
+		d.reg.Counter("fetch_retries").Inc()
+	}
+	if s.inj.Inject(faults.SiteArtifactCorrupt, d.fkey) {
+		// The read completed before the checksum failed; its time is
+		// wasted along with any retries before it.
+		return delay + d.artRead, faults.ReasonCorruptArtifact
+	}
+	if s.inj.Inject(faults.SiteRestoreMismatch, d.fkey) {
+		// Validation rejects the restore only after the whole Medusa
+		// loading phase ran.
+		return delay + d.prof.coldStart, faults.ReasonRestoreMismatch
+	}
+	return delay, ""
+}
+
 // instTrack names an instance's tracer lane.
 func (s *simulation) instTrack(inst *instState) string {
 	return fmt.Sprintf("%s/inst-%d", s.deps[inst.dep].name, inst.id)
+}
+
+// profOf resolves which profile governs an instance's serving costs:
+// the deployment's primary profile, or the vanilla fallback when the
+// launch degraded.
+func (s *simulation) profOf(inst *instState) *profile {
+	d := s.deps[inst.dep]
+	if inst.degraded != "" && d.fallback != nil {
+		return d.fallback
+	}
+	return d.prof
 }
 
 // dispatchIdle starts iterations on ready instances that are idle and
@@ -341,7 +426,7 @@ func (s *simulation) admit(inst *instState) []*reqState {
 	for len(d.pending) > 0 && len(inst.running) < d.cfg.MaxBatch {
 		r := d.pending[0]
 		need := r.PromptTokens + r.OutputTokens
-		if inst.kvTokens+need > d.prof.maxKVTok {
+		if inst.kvTokens+need > s.profOf(inst).maxKVTok {
 			break
 		}
 		d.pending = d.pending[1:]
@@ -372,10 +457,11 @@ func (s *simulation) startIteration(inst *instState) error {
 		return nil
 	}
 	var dur time.Duration
-	if d.prof.deferred {
+	prof := s.profOf(inst)
+	if prof.deferred {
 		// §2.4: the capture latency lands on the first request that
 		// needs each graph size, inside its serving path.
-		gb, c, err := d.prof.captureCost(len(inst.running))
+		gb, c, err := prof.captureCost(len(inst.running))
 		if err != nil {
 			return err
 		}
@@ -388,13 +474,13 @@ func (s *simulation) startIteration(inst *instState) error {
 		}
 	}
 	for _, r := range admitted {
-		p, err := d.prof.prefill(r.PromptTokens)
+		p, err := prof.prefill(r.PromptTokens)
 		if err != nil {
 			return err
 		}
 		dur += p
 	}
-	step, err := d.prof.decodeStep(len(inst.running))
+	step, err := prof.decodeStep(len(inst.running))
 	if err != nil {
 		return err
 	}

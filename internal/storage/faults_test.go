@@ -1,0 +1,83 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/medusa-repro/medusa/internal/faults"
+	"github.com/medusa-repro/medusa/internal/obs"
+	"github.com/medusa-repro/medusa/internal/vclock"
+)
+
+func TestGetRetryBudgetExhausted(t *testing.T) {
+	s := NewStore(DefaultArray())
+	clock := vclock.New()
+	s.Put(clock, "weights", []byte("abcd"))
+
+	inj, err := faults.NewInjector(faults.Plan{SSDRead: faults.SiteSpec{Every: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s.SetFaults(inj, reg)
+
+	before := clock.Now()
+	_, err = s.Get(clock, "weights")
+	var read *faults.ReadError
+	if !errors.As(err, &read) {
+		t.Fatalf("got %T (%v), want ReadError", err, err)
+	}
+	if read.Attempts != 4 {
+		t.Fatalf("Attempts = %d, want default budget 4", read.Attempts)
+	}
+	// Four failed reads plus three backoffs must cost strictly more than
+	// one clean read.
+	cleanStore := NewStore(DefaultArray())
+	cleanClock := vclock.New()
+	cleanStore.Put(cleanClock, "weights", []byte("abcd"))
+	cleanStart := cleanClock.Now()
+	if _, err := cleanStore.Get(cleanClock, "weights"); err != nil {
+		t.Fatal(err)
+	}
+	if got, clean := clock.Now()-before, cleanClock.Now()-cleanStart; got <= clean {
+		t.Fatalf("exhausted read burned %v, want more than clean read %v", got, clean)
+	}
+	if got := reg.Counter("storage_read_faults").Value(); got != 4 {
+		t.Fatalf("storage_read_faults = %v, want 4", got)
+	}
+	if got := reg.Counter("storage_read_retries").Value(); got != 3 {
+		t.Fatalf("storage_read_retries = %v, want 3", got)
+	}
+}
+
+func TestGetRetrySucceeds(t *testing.T) {
+	s := NewStore(DefaultArray())
+	clock := vclock.New()
+	s.Put(clock, "weights", []byte("abcd"))
+
+	// Every=2 fires on the 2nd, 4th, ... draw: the first Get succeeds on
+	// attempt one, the second Get fails once then succeeds.
+	inj, err := faults.NewInjector(faults.Plan{SSDRead: faults.SiteSpec{Every: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaults(inj, nil)
+
+	if _, err := s.Get(clock, "weights"); err != nil {
+		t.Fatalf("first read should succeed: %v", err)
+	}
+	data, err := s.Get(clock, "weights")
+	if err != nil {
+		t.Fatalf("retried read should succeed: %v", err)
+	}
+	if string(data) != "abcd" {
+		t.Fatalf("retried read returned %q", data)
+	}
+	// Detaching the injector restores fault-free reads.
+	s.SetFaults(nil, nil)
+	for i := 0; i < 10; i++ {
+		if _, err := s.Get(clock, "weights"); err != nil {
+			t.Fatalf("fault-free read %d failed: %v", i, err)
+		}
+	}
+}

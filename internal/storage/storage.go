@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/medusa-repro/medusa/internal/faults"
 	"github.com/medusa-repro/medusa/internal/obs"
 	"github.com/medusa-repro/medusa/internal/vclock"
 )
@@ -49,6 +50,31 @@ type Store struct {
 	objects map[string][]byte
 	sizes   map[string]uint64 // declared sizes for content-free objects
 	tracer  *obs.Tracer
+	inj     *faults.Injector
+	reg     *obs.Registry
+}
+
+// SetFaults attaches a fault injector and counter registry: Get then
+// rolls an SSD read fault per attempt, charging the failed read plus a
+// capped-exponential backoff on the caller's virtual clock before
+// retrying, and returns a typed *faults.ReadError once the plan's
+// retry budget is exhausted. Counters: storage_read_faults (attempts
+// that failed) and storage_read_retries (backoff waits taken). A nil
+// injector restores fault-free behavior. Like the injector itself,
+// per-object draws are order-robust, so concurrent readers of distinct
+// objects stay deterministic.
+func (s *Store) SetFaults(inj *faults.Injector, reg *obs.Registry) {
+	s.mu.Lock()
+	s.inj = inj
+	s.reg = reg
+	s.mu.Unlock()
+}
+
+// count bumps a registry counter if a registry is attached.
+func (s *Store) count(reg *obs.Registry, name string) {
+	if reg != nil {
+		reg.Counter(name).Add(1)
+	}
 }
 
 // SetTracer attaches a tracer: every Put/Get/ChargeRead records a span
@@ -110,18 +136,41 @@ func (s *Store) PutSized(clock *vclock.Clock, name string, size uint64) {
 	s.mu.Unlock()
 }
 
-// Get reads an object, charging read time for its size.
+// Get reads an object, charging read time for its size. With a fault
+// injector attached (SetFaults), each attempt may fail as an SSD read
+// error: the failed read's time is still charged, a backoff wait is
+// added, and the read is retried within the plan's budget; exhaustion
+// returns a typed *faults.ReadError.
 func (s *Store) Get(clock *vclock.Clock, name string) ([]byte, error) {
 	s.mu.Lock()
 	data, ok := s.objects[name]
 	size := s.sizes[name]
+	inj, reg := s.inj, s.reg
 	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("storage: object %q not found", name)
 	}
-	start := clock.Now()
-	clock.Advance(s.arr.ReadDuration(size))
-	s.ioSpan(clock, "get", name, start, size)
+	attempts := 1
+	if inj != nil {
+		attempts = inj.MaxAttempts()
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
+		start := clock.Now()
+		if inj != nil && inj.Inject(faults.SiteSSDRead, name) {
+			clock.Advance(s.arr.ReadDuration(size))
+			s.ioSpan(clock, "get_fault", name, start, size)
+			s.count(reg, "storage_read_faults")
+			if attempt+1 < attempts {
+				clock.Advance(inj.Backoff(faults.SiteSSDRead, name, attempt))
+				s.count(reg, "storage_read_retries")
+				continue
+			}
+			return nil, &faults.ReadError{Object: name, Attempts: attempts}
+		}
+		clock.Advance(s.arr.ReadDuration(size))
+		s.ioSpan(clock, "get", name, start, size)
+		break
+	}
 	if data == nil {
 		return nil, nil
 	}
