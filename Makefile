@@ -46,12 +46,16 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Seconds-scale benchmark gate for CI: the seeded eviction-policy sweep
-# (lru/lfu/costaware on one 2-node Zipf workload) and a two-node fleet
-# simulation exercising the tiered artifact cache end to end.
+# (lru/lfu/costaware on one 2-node Zipf workload), a two-node fleet
+# simulation exercising the tiered artifact cache end to end, and the
+# simulator-core scale smoke — one million streamed requests under a
+# wall-clock budget with an allocs/request ceiling checked in at
+# internal/cluster/testdata/max_allocs_per_request.
 bench-smoke:
 	$(GO) run ./cmd/medusa-bench -exp ext-cache-policies
 	$(GO) run ./cmd/medusa-simulate -nodes 2 -models "Qwen1.5-0.5B,Llama2-7B" \
 		-cache-policy costaware -cache-ram 3 -cache-ssd 6 -idle 200ms -rps 3 -duration 10
+	MEDUSA_SCALE_SMOKE=1 $(GO) test -run TestScaleSmoke1M -count=1 -v ./internal/cluster/
 
 # Seconds-scale fault-injection gate: the seeded probability sweep
 # (every run must survive every injected fault — FAILURES.md) plus a

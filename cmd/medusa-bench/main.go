@@ -17,6 +17,7 @@ import (
 
 	"github.com/medusa-repro/medusa/internal/experiments"
 	"github.com/medusa-repro/medusa/internal/obs"
+	"github.com/medusa-repro/medusa/internal/prof"
 )
 
 func main() {
@@ -27,6 +28,8 @@ func main() {
 	outDir := flag.String("out", "", "also write each result to <dir>/<id>.txt (the artifact's results/ layout)")
 	tracePath := flag.String("trace", "", "write the cold-start spans of the run as Chrome trace-event JSON to this file")
 	phases := flag.Bool("phases", false, "after running, print per-strategy cold-start phase breakdowns")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	if *list {
@@ -35,6 +38,17 @@ func main() {
 		}
 		return
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}()
 	ctx := experiments.NewContext()
 	if *tracePath != "" {
 		ctx.Tracer = obs.NewTracer()

@@ -13,6 +13,7 @@ import (
 	"github.com/medusa-repro/medusa/internal/faults"
 	"github.com/medusa-repro/medusa/internal/model"
 	"github.com/medusa-repro/medusa/internal/obs"
+	"github.com/medusa-repro/medusa/internal/replicate"
 	"github.com/medusa-repro/medusa/internal/serverless"
 	"github.com/medusa-repro/medusa/internal/storage"
 	"github.com/medusa-repro/medusa/internal/workload"
@@ -32,6 +33,8 @@ type clusterFlags struct {
 	models     *string
 	zipf       *float64
 	idle       *time.Duration
+	stream     *bool
+	retain     *bool
 }
 
 func registerClusterFlags() *clusterFlags {
@@ -46,11 +49,15 @@ func registerClusterFlags() *clusterFlags {
 		models:     flag.String("models", "", "comma-separated model list for a multi-model fleet (cluster mode; default: -model)"),
 		zipf:       flag.Float64("zipf", 1.2, "Zipf popularity skew across -models (must be > 1)"),
 		idle:       flag.Duration("idle", 0, "instance idle timeout (cluster mode; 0 disables)"),
+		stream:     flag.Bool("stream", false, "stream arrivals instead of materializing the trace — memory stays O(active requests), enabling 10M+ request runs (cluster mode)"),
+		retain:     flag.Bool("retain", false, "retain every per-request latency observation for exact quantiles (O(requests) memory; default uses a bounded deterministic reservoir)"),
 	}
 }
 
-// runCluster executes the fleet simulation and prints its Render.
-func runCluster(cf *clusterFlags, strategyName string, rps float64, durSec int, seed int64, tracePath string, plan *faults.Plan) error {
+// runCluster executes the fleet simulation and prints its Render (or,
+// with -reps > 1, per-replication stats plus mean ± 95% CI).
+func runCluster(cf *clusterFlags, strategyName string, baseTC workload.TraceConfig, tracePath string, plan *faults.Plan, reps int, parallel bool) error {
+	seed := baseTC.Seed
 	policy, err := artifactcache.ParsePolicy(*cf.policy)
 	if err != nil {
 		return err
@@ -89,34 +96,84 @@ func runCluster(cf *clusterFlags, strategyName string, rps float64, durSec int, 
 		deps = append(deps, serverless.Deployment{Name: name, Config: sc})
 	}
 
-	trace, err := workload.Generate(workload.TraceConfig{
-		Seed: seed, RPS: rps, Duration: time.Duration(durSec) * time.Second,
-	})
-	if err != nil {
-		return err
-	}
-	if len(deps) > 1 {
-		deps, err = cluster.ZipfDeployments(deps, trace, seed+1, *cf.zipf)
-		if err != nil {
-			return err
-		}
-	} else {
-		deps[0].Requests = trace
-	}
-
 	params := artifactcache.DefaultParams()
 	params.RAMBytes = uint64(*cf.ramMiB) << 20
 	params.SSDBytes = uint64(*cf.ssdMiB) << 20
 	params.Policy = policy
-	ccfg := cluster.Config{
-		Nodes:          *cf.nodes,
-		GPUsPerNode:    *cf.gpusPer,
-		Cache:          params,
-		LocalityWeight: *cf.locality,
-		PrewarmSSD:     *cf.prewarmSSD,
-		Seed:           seed,
-		Deployments:    deps,
-		Faults:         plan,
+
+	// mkCfg assembles one replication's fleet config: seeds derive from
+	// the replication index, deployments are cloned (Run treats them
+	// read-only, but each replication routes its own trace).
+	mkCfg := func(rep int64) (cluster.Config, error) {
+		tc := baseTC
+		tc.Seed = seed + rep
+		rdeps := append([]serverless.Deployment(nil), deps...)
+		ccfg := cluster.Config{
+			Nodes:            *cf.nodes,
+			GPUsPerNode:      *cf.gpusPer,
+			Cache:            params,
+			LocalityWeight:   *cf.locality,
+			PrewarmSSD:       *cf.prewarmSSD,
+			Seed:             seed + rep,
+			Deployments:      rdeps,
+			Faults:           plan,
+			RetainPerRequest: *cf.retain,
+		}
+		if *cf.stream {
+			src, err := workload.NewPoisson(tc)
+			if err != nil {
+				return ccfg, err
+			}
+			if len(rdeps) > 1 {
+				ccfg.Arrivals, err = cluster.ZipfArrivals(src, len(rdeps), seed+1+rep, *cf.zipf)
+				if err != nil {
+					return ccfg, err
+				}
+			} else {
+				ccfg.Arrivals = serverless.MergeArrivals([]workload.Source{src})
+			}
+			return ccfg, nil
+		}
+		trace, err := workload.Generate(tc)
+		if err != nil {
+			return ccfg, err
+		}
+		if len(rdeps) > 1 {
+			ccfg.Deployments, err = cluster.ZipfDeployments(rdeps, trace, seed+1+rep, *cf.zipf)
+			if err != nil {
+				return ccfg, err
+			}
+		} else {
+			rdeps[0].Requests = trace
+		}
+		return ccfg, nil
+	}
+
+	if reps > 1 {
+		if tracePath != "" {
+			return fmt.Errorf("-reps > 1 is incompatible with -trace")
+		}
+		stats, err := replicate.Run(reps, repWorkers(parallel), func(rep int) (repStats, error) {
+			ccfg, err := mkCfg(int64(rep))
+			if err != nil {
+				return repStats{}, err
+			}
+			res, err := cluster.Run(ccfg)
+			if err != nil {
+				return repStats{}, err
+			}
+			return clusterRepStats(res), nil
+		})
+		if err != nil {
+			return err
+		}
+		printRepTable(stats)
+		return nil
+	}
+
+	ccfg, err := mkCfg(0)
+	if err != nil {
+		return err
 	}
 	var tracer *obs.Tracer
 	if tracePath != "" {

@@ -25,6 +25,7 @@ import (
 	"github.com/medusa-repro/medusa/internal/medusa"
 	"github.com/medusa-repro/medusa/internal/model"
 	"github.com/medusa-repro/medusa/internal/obs"
+	"github.com/medusa-repro/medusa/internal/prof"
 	"github.com/medusa-repro/medusa/internal/serverless"
 	"github.com/medusa-repro/medusa/internal/storage"
 	"github.com/medusa-repro/medusa/internal/workload"
@@ -35,6 +36,8 @@ func main() {
 	strategyName := flag.String("strategy", "medusa", "vllm | async | nograph | medusa | checkpoint | deferred")
 	rps := flag.Float64("rps", 10, "mean request rate (Poisson)")
 	durSec := flag.Int("duration", 60, "trace duration in seconds")
+	meanOutput := flag.Int("mean-output", 0, "mean output tokens per request (0 = ShareGPT default)")
+	maxOutput := flag.Int("max-output", 0, "output token clamp (0 = default)")
 	gpus := flag.Int("gpus", 4, "GPU count")
 	prewarm := flag.Int("prewarm", 0, "instances pre-warmed at time zero")
 	seed := flag.Int64("seed", 90125, "trace seed")
@@ -46,12 +49,35 @@ func main() {
 	requestsIn := flag.String("requests", "", "read the request trace from a JSONL file instead of generating one")
 	requestsOut := flag.String("requests-out", "", "write the generated request trace to a JSONL file for replay")
 	faultsSpec := flag.String("faults", "", "fault plan: preset name (none | mild | heavy | crash) or path to a plan JSON file")
+	reps := flag.Int("reps", 1, "independent-seed replications; > 1 prints per-rep stats plus mean ± 95% CI")
+	parallel := flag.Bool("parallel", false, "run replications on a worker pool (one per core); output is identical either way")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	cf := registerClusterFlags()
 	flag.Parse()
 
-	fail := func(err error) {
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
+	}
+	fail := func(err error) {
+		stopProf()
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}()
+	if *reps < 1 {
+		fail(fmt.Errorf("-reps must be ≥ 1, got %d", *reps))
+	}
+	baseTC := workload.TraceConfig{
+		Seed: *seed, RPS: *rps, Duration: time.Duration(*durSec) * time.Second,
+		MeanOutput: *meanOutput, MaxOutput: *maxOutput,
 	}
 	var plan *faults.Plan
 	if *faultsSpec != "" {
@@ -62,7 +88,7 @@ func main() {
 		plan = &p
 	}
 	if *cf.nodes > 0 {
-		if err := runCluster(cf, *strategyName, *rps, *durSec, *seed, *tracePath, plan); err != nil {
+		if err := runCluster(cf, *strategyName, baseTC, *tracePath, plan, *reps, *parallel); err != nil {
 			fail(err)
 		}
 		return
@@ -117,6 +143,27 @@ func main() {
 		return sc, nil
 	}
 
+	if *reps > 1 {
+		if *requestsIn != "" || *requestsOut != "" || *tracePath != "" || *phases {
+			fail(fmt.Errorf("-reps > 1 is incompatible with -requests, -requests-out, -trace and -phases"))
+		}
+		if strategy.NeedsArtifact() {
+			// Warm the artifact cache before the fan-out; replication
+			// workers then share it read-only.
+			if _, _, err := artOnce(); err != nil {
+				fail(err)
+			}
+		}
+		fmt.Printf("model=%s strategy=%s rps=%.1f duration=%ds reps=%d parallel=%v\n",
+			cfg.Name, strategy, *rps, *durSec, *reps, *parallel)
+		if err := runServerlessReps(
+			func() (serverless.Config, error) { return buildConfig(strategy) },
+			baseTC, *reps, *parallel); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	var reqs []workload.Request
 	if *requestsIn != "" {
 		f, err := os.Open(*requestsIn)
@@ -130,9 +177,7 @@ func main() {
 		}
 	} else {
 		var err error
-		reqs, err = workload.Generate(workload.TraceConfig{
-			Seed: *seed, RPS: *rps, Duration: time.Duration(*durSec) * time.Second,
-		})
+		reqs, err = workload.Generate(baseTC)
 		if err != nil {
 			fail(err)
 		}

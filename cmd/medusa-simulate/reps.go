@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/medusa-repro/medusa/internal/cluster"
+	"github.com/medusa-repro/medusa/internal/metrics"
+	"github.com/medusa-repro/medusa/internal/replicate"
+	"github.com/medusa-repro/medusa/internal/serverless"
+	"github.com/medusa-repro/medusa/internal/workload"
+)
+
+// repStats is one replication's headline numbers.
+type repStats struct {
+	requests   int
+	completed  int
+	coldStarts int
+	p50TTFT    time.Duration
+	p99TTFT    time.Duration
+	throughput float64
+}
+
+// repWorkers maps the -parallel flag to a worker count: sequential by
+// default, one worker per core with -parallel. Results are merged in
+// replication order either way, so the output bytes do not depend on
+// the choice.
+func repWorkers(parallel bool) int {
+	if parallel {
+		return 0 // replicate.Run: GOMAXPROCS
+	}
+	return 1
+}
+
+// printRepTable renders per-replication rows plus mean ± 95% CI
+// summary lines for the headline statistics.
+func printRepTable(stats []repStats) {
+	fmt.Printf("\n%-4s %10s %10s %12s %14s %14s %14s\n",
+		"rep", "requests", "completed", "cold starts", "p50 TTFT", "p99 TTFT", "throughput")
+	var p50s, p99s, colds, thrs []float64
+	for i, st := range stats {
+		p50s = append(p50s, st.p50TTFT.Seconds())
+		p99s = append(p99s, st.p99TTFT.Seconds())
+		colds = append(colds, float64(st.coldStarts))
+		thrs = append(thrs, st.throughput)
+		fmt.Printf("%-4d %10d %10d %12d %13.3fs %13.3fs %9.2f req/s\n",
+			i, st.requests, st.completed, st.coldStarts,
+			st.p50TTFT.Seconds(), st.p99TTFT.Seconds(), st.throughput)
+	}
+	p50m, p50ci := metrics.MeanCI(p50s)
+	p99m, p99ci := metrics.MeanCI(p99s)
+	coldm, coldci := metrics.MeanCI(colds)
+	thrm, thrci := metrics.MeanCI(thrs)
+	fmt.Printf("\nacross %d independent-seed replications (mean ± 95%% CI):\n", len(stats))
+	fmt.Printf("  TTFT p50:    %.3f ± %.3f s\n", p50m, p50ci)
+	fmt.Printf("  TTFT p99:    %.3f ± %.3f s\n", p99m, p99ci)
+	fmt.Printf("  cold starts: %.1f ± %.1f\n", coldm, coldci)
+	fmt.Printf("  throughput:  %.2f ± %.2f req/s\n", thrm, thrci)
+}
+
+// clusterRepStats folds one fleet replication into headline numbers.
+// Per-deployment TTFT samples merge deterministically (reservoir offers
+// happen in deployment order).
+func clusterRepStats(res *cluster.Result) repStats {
+	fleet := &metrics.Sample{}
+	st := repStats{coldStarts: res.TotalColdStarts}
+	for _, d := range res.PerDeployment {
+		st.completed += d.Completed
+		fleet.AddAll(d.TTFT)
+	}
+	st.requests = st.completed
+	st.p50TTFT = fleet.P50()
+	st.p99TTFT = fleet.P99()
+	if res.Makespan > 0 {
+		st.throughput = float64(st.completed) / res.Makespan.Seconds()
+	}
+	return st
+}
+
+// runServerlessReps runs the single-pool simulation reps times with
+// independent seeds on a worker pool. Each replication is a pure
+// function of its index (trace seed and simulation seed are both
+// derived from it), so the printed table is identical with and without
+// -parallel.
+func runServerlessReps(buildConfig func() (serverless.Config, error),
+	traceCfg workload.TraceConfig, reps int, parallel bool) error {
+	stats, err := replicate.Run(reps, repWorkers(parallel), func(rep int) (repStats, error) {
+		tc := traceCfg
+		tc.Seed += int64(rep)
+		reqs, err := workload.Generate(tc)
+		if err != nil {
+			return repStats{}, err
+		}
+		sc, err := buildConfig()
+		if err != nil {
+			return repStats{}, err
+		}
+		sc.Seed += int64(rep)
+		res, err := serverless.Run(sc, reqs)
+		if err != nil {
+			return repStats{}, err
+		}
+		return repStats{
+			requests:   len(reqs),
+			completed:  res.Completed,
+			coldStarts: res.ColdStarts,
+			p50TTFT:    res.TTFT.P50(),
+			p99TTFT:    res.TTFT.P99(),
+			throughput: res.Throughput,
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	printRepTable(stats)
+	return nil
+}

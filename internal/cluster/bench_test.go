@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/medusa-repro/medusa/internal/artifactcache"
+	"github.com/medusa-repro/medusa/internal/serverless"
+	"github.com/medusa-repro/medusa/internal/workload"
+)
+
+// benchZipfFleet assembles the Zipf-fleet workload the simulator-core
+// performance work is measured against: ten models of skewed
+// popularity churning through two nodes with tight caches and short
+// idle timeouts, so the run exercises placement, cache contention,
+// continual relaunching and the full event-loop hot path.
+func benchZipfFleet(b *testing.B, rps float64, seconds int) Config {
+	b.Helper()
+	cfg := churnConfig(artifactcache.PolicyCostAware)
+	cfg.Nodes = 4
+	cfg.Cache.RAMBytes = 3 << 20
+	cfg.Cache.SSDBytes = 6 << 20
+	cfg.LocalityWeight = 0.8
+	deps := make([]serverless.Deployment, 0, len(fixtureModels))
+	for i, name := range fixtureModels {
+		deps = append(deps, serverless.Deployment{
+			Name:   name,
+			Config: idleOut(medusaDeployment(b, name, int64(i+1)), 250*time.Millisecond),
+		})
+	}
+	trace, err := workload.Generate(workload.TraceConfig{
+		Seed: 97, RPS: rps, Duration: time.Duration(seconds) * time.Second,
+		MeanOutput: 8, MaxOutput: 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	split, err := ZipfDeployments(deps, trace, 43, 1.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Deployments = split
+	return cfg
+}
+
+// BenchmarkClusterSimWallclock is the headline simulator-core
+// benchmark: wall-clock and allocations for one Zipf-fleet run
+// (results/perf-simcore.txt tracks its trajectory across PRs). The two
+// sizes expose the core's scaling behaviour: a core that is linear in
+// events costs ~4x more for the 4x workload, anything worse shows up
+// immediately.
+func BenchmarkClusterSimWallclock(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		rps     float64
+		seconds int
+	}{
+		{"zipf-6k", 50, 120},
+		{"zipf-24k", 200, 120},
+		// An hour of fleet time: instance churn (idle-timeout retirement
+		// plus relaunch) accumulates thousands of launches, which is
+		// where per-event scans over everything-ever-launched go
+		// quadratic and an O(active) core does not.
+		{"zipf-180k", 50, 3600},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := benchZipfFleet(b, bc.rps, bc.seconds)
+			total := 0
+			for _, d := range cfg.Deployments {
+				total += len(d.Requests)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Each deployment's Requests slice is read-only to Run, so
+				// the config is reusable across iterations.
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(total), "requests")
+					b.ReportMetric(float64(res.TotalColdStarts), "cold_starts")
+				}
+			}
+		})
+	}
+}

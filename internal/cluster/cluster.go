@@ -68,6 +68,18 @@ type Config struct {
 	// spans (as the single-pool simulator records) plus per-node cache
 	// fetch spans on "storage/cache/node<N>" tracks.
 	Tracer *obs.Tracer
+	// Arrivals, when set, streams the whole fleet's traffic instead of
+	// per-deployment Requests slices: the simulator pulls one arrival at
+	// a time, so memory stays O(active requests) however long the trace.
+	// Each emitted deployment index must be valid and arrivals must be
+	// nondecreasing. Deployments' Requests/Source fields are ignored
+	// when set.
+	Arrivals serverless.ArrivalSource
+	// RetainPerRequest keeps every per-request latency observation in
+	// the result samples (exact quantiles, O(requests) memory). Off by
+	// default: samples keep exact count/mean/max plus a deterministic
+	// bounded reservoir for quantiles.
+	RetainPerRequest bool
 	// Faults, when set to a nonzero plan, injects deterministic faults
 	// (artifact corruption, registry fetch timeouts, SSD read errors,
 	// restore-validation mismatches, node crashes) into the run. Every
@@ -225,8 +237,18 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	streaming := cfg.Arrivals != nil
+	if !streaming {
+		for _, dep := range cfg.Deployments {
+			if dep.Source != nil {
+				streaming = true
+				break
+			}
+		}
+	}
+
 	for di, dep := range cfg.Deployments {
-		if len(dep.Requests) == 0 {
+		if !streaming && len(dep.Requests) == 0 {
 			return nil, fmt.Errorf("cluster: deployment %d (%s) has an empty trace", di, dep.Name)
 		}
 		dcfg := dep.Config
@@ -284,16 +306,52 @@ func Run(cfg Config) (*Result, error) {
 			fallback: fallback,
 			reg:      obs.NewRegistry(),
 			phases:   obs.NewPhaseBreakdown(),
-			firstArr: dep.Requests[0].Arrival,
 			rng:      rand.New(rand.NewSource(cfg.Seed ^ dcfg.Seed ^ 0x5eed ^ int64(di))),
 		}
-		sim.deps = append(sim.deps, d)
-		for _, r := range dep.Requests {
-			sim.states = append(sim.states, &reqState{Request: r, dep: di, turn: 1})
+		if cfg.RetainPerRequest {
+			d.reg.RetainSamples()
 		}
+		d.bindInstruments()
+		if !streaming {
+			d.seenArr = true
+			d.firstArr = dep.Requests[0].Arrival
+		}
+		sim.deps = append(sim.deps, d)
 	}
-	for i := range sim.states {
-		sim.states[i].ID = i
+
+	if streaming {
+		// Streaming traffic: request IDs are assigned in delivery order.
+		sim.renumber = true
+		if cfg.Arrivals != nil {
+			sim.src = cfg.Arrivals
+		} else {
+			perDep := make([]workload.Source, len(cfg.Deployments))
+			for di, dep := range cfg.Deployments {
+				if dep.Source != nil {
+					perDep[di] = dep.Source
+				} else {
+					perDep[di] = workload.NewSlice(dep.Requests)
+				}
+			}
+			sim.src = serverless.MergeArrivals(perDep)
+		}
+	} else {
+		// Slice traffic keeps the historical ID scheme: global IDs in
+		// deployment-concatenation order, follow-ups numbered after all
+		// initial requests.
+		nextID := 0
+		perDep := make([]workload.Source, len(cfg.Deployments))
+		for di, dep := range cfg.Deployments {
+			reqs := make([]workload.Request, len(dep.Requests))
+			copy(reqs, dep.Requests)
+			for i := range reqs {
+				reqs[i].ID = nextID
+				nextID++
+			}
+			perDep[di] = workload.NewSlice(reqs)
+		}
+		sim.src = serverless.MergeArrivals(perDep)
+		sim.nextID = nextID
 	}
 
 	if cfg.PrewarmSSD {

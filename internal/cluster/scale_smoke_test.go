@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/medusa-repro/medusa/internal/serverless"
+	"github.com/medusa-repro/medusa/internal/workload"
+)
+
+// scaleSmokeBudget bounds the 1M-request smoke's wall clock. The run
+// takes single-digit seconds on the development machine; the budget is
+// generous for slow CI hosts while still catching a return to the
+// pre-streaming core (which needed minutes at this scale).
+const scaleSmokeBudget = 90 * time.Second
+
+// maxAllocsPerRequest reads the checked-in allocation threshold — the
+// benchstat-style guard against hot-path allocation regressions.
+func maxAllocsPerRequest(t *testing.T) float64 {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/max_allocs_per_request")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(string(raw)), 64)
+	if err != nil {
+		t.Fatalf("testdata/max_allocs_per_request: %v", err)
+	}
+	return v
+}
+
+// TestScaleSmoke1M streams one million requests through a four-node
+// Zipf fleet under a wall-clock budget and an allocs/request ceiling.
+// It runs from `make bench-smoke` (gated on MEDUSA_SCALE_SMOKE so
+// ordinary `go test ./...` stays fast).
+func TestScaleSmoke1M(t *testing.T) {
+	if os.Getenv("MEDUSA_SCALE_SMOKE") == "" {
+		t.Skip("set MEDUSA_SCALE_SMOKE=1 to run the 1M-request scale smoke (make bench-smoke)")
+	}
+	models := fixtureModels[:4]
+	deps := make([]serverless.Deployment, 0, len(models))
+	for i, name := range models {
+		deps = append(deps, serverless.Deployment{
+			Name:   name,
+			Config: idleOut(medusaDeployment(t, name, int64(i+1)), 500*time.Millisecond),
+		})
+	}
+	src, err := workload.NewPoisson(workload.TraceConfig{
+		Seed: 97, RPS: 2800, Duration: 360 * time.Second,
+		MeanOutput: 8, MaxOutput: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals, err := ZipfArrivals(src, len(deps), 43, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Nodes: 4, GPUsPerNode: 8, Seed: 7,
+		Deployments: deps,
+		Arrivals:    arrivals,
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := Run(cfg)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	completed := 0
+	for _, d := range res.PerDeployment {
+		completed += d.Completed
+	}
+	if completed < 1_000_000 {
+		t.Fatalf("completed %d requests, want ≥ 1M (workload mis-sized)", completed)
+	}
+	if elapsed > scaleSmokeBudget {
+		t.Fatalf("1M-request run took %v, budget %v", elapsed, scaleSmokeBudget)
+	}
+	allocsPerReq := float64(after.Mallocs-before.Mallocs) / float64(completed)
+	if limit := maxAllocsPerRequest(t); allocsPerReq > limit {
+		t.Fatalf("allocs/request = %.2f exceeds checked-in threshold %.2f "+
+			"(testdata/max_allocs_per_request); if the regression is intentional, update the threshold deliberately",
+			allocsPerReq, limit)
+	}
+	t.Logf("completed %d requests in %v (%.2f allocs/request, %d cold starts)",
+		completed, elapsed, allocsPerReq, res.TotalColdStarts)
+}

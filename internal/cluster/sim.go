@@ -1,25 +1,28 @@
 package cluster
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"github.com/medusa-repro/medusa/internal/artifactcache"
 	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/eventq"
 	"github.com/medusa-repro/medusa/internal/faults"
+	"github.com/medusa-repro/medusa/internal/metrics"
 	"github.com/medusa-repro/medusa/internal/obs"
 	"github.com/medusa-repro/medusa/internal/serverless"
 	"github.com/medusa-repro/medusa/internal/workload"
 )
 
 // The event loop mirrors internal/serverless/sim.go — same event kinds,
-// same (t, seq) heap tie-break, same continuous-batching iteration
-// shape — extended with node-level placement: every launch first picks
-// a node (locality vs load), then charges runtime init and the node
-// cache's artifact fetch, overlapped (the node daemon pulls the
-// artifact while the container boots).
+// same (time, push-sequence) queue tie-break, same continuous-batching
+// iteration shape, same O(active) scaling machinery (lazy pulled
+// arrivals, free-listed request/instance state, per-deployment live
+// lists, incremental GPU accounting) — extended with node-level
+// placement: every launch first picks a node (locality vs load), then
+// charges runtime init and the node cache's artifact fetch, overlapped
+// (the node daemon pulls the artifact while the container boots).
 
 type eventKind int
 
@@ -31,27 +34,18 @@ const (
 	evNodeCrash
 )
 
+// event is one scheduled occurrence. Instance events carry the epoch
+// the instance state had when scheduled; recycled instances bump their
+// epoch, which invalidates events still queued against the previous
+// incarnation (idle checks after retirement, ready/iteration-end
+// events after a node crash).
 type event struct {
-	t    time.Duration
-	kind eventKind
-	req  int
-	inst int
-	node int
-	seq  int
+	kind  eventKind
+	req   *reqState
+	inst  *instState
+	node  int
+	epoch uint64
 }
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 
 // runtimeInitDuration mirrors the engine's runtime-initialization
 // phase, paid by launches that miss the node's warm container pool.
@@ -71,6 +65,7 @@ type instState struct {
 	id         int
 	dep        int
 	node       int
+	epoch      uint64
 	ready      bool
 	retired    bool
 	running    []*reqState
@@ -96,7 +91,8 @@ type nodeState struct {
 	cache    *artifactcache.NodeCache
 }
 
-// depState is one deployment's queue, profile and metrics.
+// depState is one deployment's queue, profile and metrics. Hot-path
+// registry instruments are resolved once and cached.
 type depState struct {
 	cfg  serverless.Config
 	prof *serverless.Profile
@@ -108,18 +104,57 @@ type depState struct {
 	// (nil when no injector is attached or the strategy has no artifact).
 	fallback *serverless.Profile
 
-	pending  []*reqState
+	pending eventq.Deque[*reqState]
+	// active lists live instances in launch order.
+	active []*instState
+	// outstanding counts the deployment's unfinished requests
+	// (pending + running), maintained incrementally.
+	outstanding int
+
 	reg      *obs.Registry
 	phases   *obs.PhaseBreakdown
 	csTotal  time.Duration
 	live     int
 	firstArr time.Duration
+	seenArr  bool
 	lastDone time.Duration
 	rng      *rand.Rand
+
+	// Cached registry instruments (hot path).
+	cCompleted  *obs.Counter
+	cColdStarts *obs.Counter
+	cIterations *obs.Counter
+	cFollowUps  *obs.Counter
+	sTTFT       *metrics.Sample
+	sE2E        *metrics.Sample
+	sColdStart  *metrics.Sample
+	gLive       *obs.Gauge
+}
+
+func (d *depState) bindInstruments() {
+	d.cCompleted = d.reg.Counter("completed")
+	d.cColdStarts = d.reg.Counter("cold_starts")
+	d.cIterations = d.reg.Counter("iterations")
+	d.cFollowUps = d.reg.Counter("follow_ups")
+	d.sTTFT = d.reg.Sample("ttft")
+	d.sE2E = d.reg.Sample("e2e")
+	d.sColdStart = d.reg.Sample("cold_start")
+	d.gLive = d.reg.Gauge("live_instances")
 }
 
 func (d *depState) liveChanged() {
-	d.reg.Gauge("live_instances").Update(float64(d.live))
+	d.gLive.Update(float64(d.live))
+}
+
+// removeActive deletes inst from the live list, preserving launch
+// order (dispatch order is part of the deterministic contract).
+func (d *depState) removeActive(inst *instState) {
+	for i, a := range d.active {
+		if a == inst {
+			d.active = append(d.active[:i], d.active[i+1:]...)
+			return
+		}
+	}
 }
 
 type simulation struct {
@@ -128,27 +163,106 @@ type simulation struct {
 	inj   *faults.Injector
 	nodes []*nodeState
 
-	deps      []*depState
-	instances []*instState
-	states    []*reqState
+	deps []*depState
+
+	// src streams arrivals; head is the one pulled-but-unfired arrival
+	// whose event sits in the queue.
+	src      serverless.ArrivalSource
+	head     *reqState
+	renumber bool
+	lastArr  time.Duration
 
 	now    time.Duration
-	events eventHeap
-	seq    int
+	events eventq.Queue[event]
 
-	completed int
-	lastDone  time.Duration
+	reqPool  []*reqState
+	instPool []*instState
+	instSeq  int
+	nextID   int
+
+	scratchIntervals []obs.Interval
+	scratchAdmitted  []*reqState
+	scratchCrash     []*instState
+
+	created    int
+	completed  int
+	lastDone   time.Duration
+	gpuSeconds float64
 }
 
 func (s *simulation) schedule(t time.Duration, ev event) {
-	ev.t = t
-	ev.seq = s.seq
-	s.seq++
-	heap.Push(&s.events, ev)
+	s.events.Push(t, ev)
+}
+
+func (s *simulation) newReq() *reqState {
+	if n := len(s.reqPool); n > 0 {
+		r := s.reqPool[n-1]
+		s.reqPool = s.reqPool[:n-1]
+		return r
+	}
+	return &reqState{}
+}
+
+func (s *simulation) freeReq(r *reqState) {
+	*r = reqState{}
+	s.reqPool = append(s.reqPool, r)
+}
+
+func (s *simulation) newInst(dep, node int) *instState {
+	var inst *instState
+	if n := len(s.instPool); n > 0 {
+		inst = s.instPool[n-1]
+		s.instPool = s.instPool[:n-1]
+	} else {
+		inst = &instState{}
+	}
+	inst.id = s.instSeq
+	s.instSeq++
+	inst.dep = dep
+	inst.node = node
+	return inst
+}
+
+// freeInst recycles an instance state, invalidating any events still
+// referencing this incarnation (stale idle checks; after a crash, the
+// in-flight ready or iteration-end event).
+func (s *simulation) freeInst(inst *instState) {
+	epoch := inst.epoch + 1
+	running := inst.running[:0]
+	*inst = instState{epoch: epoch, running: running}
+	s.instPool = append(s.instPool, inst)
+}
+
+// pullArrival draws the next arrival from the source and schedules it.
+// Exactly one sourced arrival is in the event queue at a time.
+func (s *simulation) pullArrival() error {
+	di, req, ok := s.src.Next()
+	if !ok {
+		s.head = nil
+		return s.src.Err()
+	}
+	if di < 0 || di >= len(s.deps) {
+		return fmt.Errorf("cluster: arrival for unknown deployment %d", di)
+	}
+	if req.Arrival < s.lastArr {
+		return fmt.Errorf("cluster: arrival stream went backwards (%v after %v)", req.Arrival, s.lastArr)
+	}
+	s.lastArr = req.Arrival
+	r := s.newReq()
+	r.Request = req
+	r.dep = di
+	r.turn = 1
+	if s.renumber {
+		r.ID = s.nextID
+		s.nextID++
+	}
+	s.created++
+	s.head = r
+	s.schedule(req.Arrival, event{kind: evArrival, req: r})
+	return nil
 }
 
 func (s *simulation) run() (*Result, error) {
-	heap.Init(&s.events)
 	for di, d := range s.deps {
 		// Pre-warmed instances occupy GPUs from time zero, placed like
 		// any launch but charged no cold start.
@@ -157,16 +271,17 @@ func (s *simulation) run() (*Result, error) {
 			if node == nil {
 				break
 			}
-			inst := &instState{id: len(s.instances), dep: di, node: node.id, ready: true}
-			s.instances = append(s.instances, inst)
+			inst := s.newInst(di, node.id)
+			inst.ready = true
 			node.gpusUsed += d.cfg.TPDegree
 			node.launches++
+			d.active = append(d.active, inst)
 			d.live++
 		}
 		d.liveChanged()
 	}
-	for i := range s.states {
-		s.schedule(s.states[i].Arrival, event{kind: evArrival, req: i})
+	if err := s.pullArrival(); err != nil {
+		return nil, err
 	}
 	if s.inj != nil {
 		for _, nc := range s.inj.CrashSchedule() {
@@ -175,12 +290,23 @@ func (s *simulation) run() (*Result, error) {
 	}
 
 	for s.events.Len() > 0 {
-		ev := heap.Pop(&s.events).(event)
-		s.now = ev.t
+		t, ev := s.events.Pop()
+		s.now = t
 		switch ev.kind {
 		case evArrival:
-			r := s.states[ev.req]
-			s.deps[r.dep].pending = append(s.deps[r.dep].pending, r)
+			r := ev.req
+			d := s.deps[r.dep]
+			if !d.seenArr {
+				d.seenArr = true
+				d.firstArr = r.Arrival
+			}
+			d.pending.PushBack(r)
+			d.outstanding++
+			if r == s.head {
+				if err := s.pullArrival(); err != nil {
+					return nil, err
+				}
+			}
 			if err := s.autoscaleAll(); err != nil {
 				return nil, err
 			}
@@ -188,8 +314,8 @@ func (s *simulation) run() (*Result, error) {
 				return nil, err
 			}
 		case evInstanceReady:
-			inst := s.instances[ev.inst]
-			if inst.retired {
+			inst := ev.inst
+			if inst.epoch != ev.epoch {
 				// The instance's node crashed mid-provisioning; the
 				// launch was already written off as lost.
 				break
@@ -200,7 +326,12 @@ func (s *simulation) run() (*Result, error) {
 				return nil, err
 			}
 		case evIterationEnd:
-			if err := s.finishIteration(s.instances[ev.inst]); err != nil {
+			if ev.inst.epoch != ev.epoch {
+				// The node crashed mid-iteration; the batch was requeued
+				// and this event means nothing.
+				break
+			}
+			if err := s.finishIteration(ev.inst); err != nil {
 				return nil, err
 			}
 		case evNodeCrash:
@@ -208,15 +339,14 @@ func (s *simulation) run() (*Result, error) {
 				return nil, err
 			}
 		case evIdleCheck:
-			inst := s.instances[ev.inst]
+			inst := ev.inst
+			if inst.epoch != ev.epoch {
+				break
+			}
 			d := s.deps[inst.dep]
 			if !inst.retired && inst.ready && !inst.iterating && len(inst.running) == 0 &&
 				s.now-inst.idleSince >= d.cfg.IdleTimeout {
-				inst.retired = true
-				inst.retiredAt = s.now
-				s.nodes[inst.node].gpusUsed -= d.cfg.TPDegree
-				d.live--
-				d.liveChanged()
+				s.retire(inst)
 				if err := s.autoscaleAll(); err != nil {
 					return nil, err
 				}
@@ -226,23 +356,42 @@ func (s *simulation) run() (*Result, error) {
 			}
 		}
 	}
-	if s.completed != len(s.states) {
-		return nil, fmt.Errorf("cluster: %d of %d requests completed", s.completed, len(s.states))
+	if err := s.src.Err(); err != nil {
+		return nil, err
+	}
+	if s.completed != s.created {
+		return nil, fmt.Errorf("cluster: %d of %d requests completed", s.completed, s.created)
 	}
 	return s.assemble(), nil
 }
 
+// retire takes an instance out of service, settling its GPU-time
+// account and recycling its state.
+func (s *simulation) retire(inst *instState) {
+	d := s.deps[inst.dep]
+	inst.retired = true
+	inst.retiredAt = s.now
+	s.nodes[inst.node].gpusUsed -= d.cfg.TPDegree
+	d.live--
+	d.liveChanged()
+	if inst.retiredAt > inst.launchedAt {
+		s.gpuSeconds += (inst.retiredAt - inst.launchedAt).Seconds() * float64(d.cfg.TPDegree)
+	}
+	d.removeActive(inst)
+	s.freeInst(inst)
+}
+
 func (s *simulation) assemble() *Result {
-	out := &Result{Config: s.cfg, Metrics: s.reg, Makespan: s.lastDone}
+	out := &Result{Config: s.cfg, Metrics: s.reg, Makespan: s.lastDone, GPUSeconds: s.gpuSeconds}
 	for _, d := range s.deps {
-		completed := int(d.reg.Counter("completed").Value())
-		coldStarts := int(d.reg.Counter("cold_starts").Value())
+		completed := int(d.cCompleted.Value())
+		coldStarts := int(d.cColdStarts.Value())
 		degraded := int(d.reg.Counter("degraded_cold_starts").Value())
 		out.PerDeployment = append(out.PerDeployment, &DeploymentResult{
 			Name:            d.name,
-			TTFT:            d.reg.Sample("ttft"),
-			E2E:             d.reg.Sample("e2e"),
-			ColdStart:       d.reg.Sample("cold_start"),
+			TTFT:            d.sTTFT,
+			E2E:             d.sE2E,
+			ColdStart:       d.sColdStart,
 			Completed:       completed,
 			ColdStarts:      coldStarts,
 			Degraded:        degraded,
@@ -252,6 +401,13 @@ func (s *simulation) assemble() *Result {
 		})
 		out.TotalColdStarts += coldStarts
 		out.Degraded += degraded
+		// Instances still live at the end are charged to the last
+		// completion, as if decommissioned with the cluster.
+		for _, inst := range d.active {
+			if s.lastDone > inst.launchedAt {
+				out.GPUSeconds += (s.lastDone - inst.launchedAt).Seconds() * float64(d.cfg.TPDegree)
+			}
+		}
 	}
 	out.Requeued = int(s.reg.Counter("requeued").Value())
 	out.NodeCrashes = int(s.reg.Counter("node_crashes").Value())
@@ -260,27 +416,7 @@ func (s *simulation) assemble() *Result {
 		out.PerNode = append(out.PerNode, NodeResult{ID: n.id, Launches: n.launches, Crashed: n.crashed, Cache: st})
 		out.Cache.Add(st)
 	}
-	for _, inst := range s.instances {
-		end := s.lastDone
-		if inst.retired {
-			end = inst.retiredAt
-		}
-		if end > inst.launchedAt {
-			out.GPUSeconds += (end - inst.launchedAt).Seconds() *
-				float64(s.deps[inst.dep].cfg.TPDegree)
-		}
-	}
 	return out
-}
-
-func (s *simulation) outstanding(di int) int {
-	n := len(s.deps[di].pending)
-	for _, inst := range s.instances {
-		if inst.dep == di && !inst.retired {
-			n += len(inst.running)
-		}
-	}
-	return n
 }
 
 func (s *simulation) autoscaleAll() error {
@@ -349,11 +485,10 @@ func (s *simulation) placeNode(d *depState) *nodeState {
 // when both are done.
 func (s *simulation) launchOne(di int) (bool, error) {
 	d := s.deps[di]
-	out := s.outstanding(di)
-	if out == 0 {
+	if d.outstanding == 0 {
 		return false, nil
 	}
-	desired := 1 + (out-1)/d.cfg.InstanceTarget
+	desired := 1 + (d.outstanding-1)/d.cfg.InstanceTarget
 	if d.live >= desired {
 		return false, nil
 	}
@@ -361,15 +496,17 @@ func (s *simulation) launchOne(di int) (bool, error) {
 	if node == nil {
 		return false, nil
 	}
-	inst := &instState{id: len(s.instances), dep: di, node: node.id, idleSince: s.now, launchedAt: s.now}
-	s.instances = append(s.instances, inst)
+	inst := s.newInst(di, node.id)
+	inst.idleSince = s.now
+	inst.launchedAt = s.now
 	node.gpusUsed += d.cfg.TPDegree
 	node.launches++
-	d.reg.Counter("cold_starts").Inc()
+	d.active = append(d.active, inst)
+	d.cColdStarts.Inc()
 	d.live++
 	d.liveChanged()
 
-	intervals := make([]obs.Interval, 0, 10)
+	intervals := s.scratchIntervals[:0]
 	riEnd := s.now
 	if node.warmLeft == 0 {
 		riEnd = s.now + runtimeInitDuration
@@ -429,11 +566,11 @@ func (s *simulation) launchOne(di int) (bool, error) {
 			}
 		}
 	}
-	intervals = append(intervals, obs.TimelineIntervals(prof.Timeline(), loadStart)...)
+	intervals = obs.AppendTimelineIntervals(intervals, prof.Timeline(), loadStart)
 	d.phases.AddExclusive(intervals)
 	ready := loadStart + prof.ColdStart()
 	d.csTotal += ready - s.now
-	d.reg.Sample("cold_start").Add(ready - s.now)
+	d.sColdStart.Add(ready - s.now)
 	if tr := d.cfg.Tracer; tr != nil {
 		root := tr.StartSpan(s.instTrack(inst), "cold_start", s.now).
 			Tag("cold_start").
@@ -451,7 +588,8 @@ func (s *simulation) launchOne(di int) (bool, error) {
 		}
 		root.End(ready)
 	}
-	s.schedule(ready, event{kind: evInstanceReady, inst: inst.id})
+	s.scratchIntervals = intervals[:0]
+	s.schedule(ready, event{kind: evInstanceReady, inst: inst, epoch: inst.epoch})
 	return true, nil
 }
 
@@ -494,19 +632,23 @@ func (s *simulation) crashNode(id int) error {
 	node.crashed = true
 	node.cache.MarkLost()
 	s.reg.Counter("node_crashes").Inc()
-	for _, inst := range s.instances {
-		if inst.node != id || inst.retired {
-			continue
+	// Collect the node's instances first: retiring mutates the active
+	// lists being walked. Deployment-major order matches the per-
+	// deployment requeue order of the original all-instances scan.
+	doomed := s.scratchCrash[:0]
+	for _, d := range s.deps {
+		for _, inst := range d.active {
+			if inst.node == id {
+				doomed = append(doomed, inst)
+			}
 		}
+	}
+	for _, inst := range doomed {
 		d := s.deps[inst.dep]
-		inst.retired = true
-		inst.retiredAt = s.now
-		node.gpusUsed -= d.cfg.TPDegree
-		d.live--
-		d.liveChanged()
 		if !inst.ready {
 			// Mid-provisioning: the cold start is lost with the node. Its
-			// evInstanceReady event still fires and is ignored.
+			// evInstanceReady event still fires and is ignored (stale
+			// epoch).
 			d.reg.Counter("lost_cold_starts").Inc()
 			s.reg.Counter("lost_cold_starts").Inc()
 		}
@@ -514,25 +656,32 @@ func (s *simulation) crashNode(id int) error {
 			// Partial generation is lost: the request restarts from its
 			// first output token on whichever instance re-admits it.
 			r.emitted = 0
-			d.pending = append(d.pending, r)
+			d.pending.PushBack(r)
 			d.reg.Counter("requeued").Inc()
 			s.reg.Counter("requeued").Inc()
 		}
-		inst.running = nil
+		inst.running = inst.running[:0]
 		inst.iterating = false
 		inst.kvTokens = 0
+		s.retire(inst)
 	}
+	s.scratchCrash = doomed[:0]
 	if err := s.autoscaleAll(); err != nil {
 		return err
 	}
 	return s.dispatchIdle()
 }
 
+// dispatchIdle starts iterations on ready instances that are idle and
+// have admissible work, walking each deployment's live instances in
+// launch order.
 func (s *simulation) dispatchIdle() error {
-	for _, inst := range s.instances {
-		if inst.ready && !inst.retired && !inst.iterating {
-			if err := s.startIteration(inst); err != nil {
-				return err
+	for _, d := range s.deps {
+		for _, inst := range d.active {
+			if inst.ready && !inst.iterating {
+				if err := s.startIteration(inst); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -540,21 +689,23 @@ func (s *simulation) dispatchIdle() error {
 }
 
 // admit moves pending requests of the instance's deployment into it up
-// to batch and KV capacity.
+// to batch and KV capacity, returning the admitted set (valid until the
+// next admit call).
 func (s *simulation) admit(inst *instState) []*reqState {
 	d := s.deps[inst.dep]
-	var admitted []*reqState
-	for len(d.pending) > 0 && len(inst.running) < d.cfg.MaxBatch {
-		r := d.pending[0]
+	admitted := s.scratchAdmitted[:0]
+	for d.pending.Len() > 0 && len(inst.running) < d.cfg.MaxBatch {
+		r := d.pending.Front()
 		need := r.PromptTokens + r.OutputTokens
 		if inst.kvTokens+need > s.profOf(inst).MaxKVTokens() {
 			break
 		}
-		d.pending = d.pending[1:]
+		d.pending.PopFront()
 		inst.kvTokens += need
 		inst.running = append(inst.running, r)
 		admitted = append(admitted, r)
 	}
+	s.scratchAdmitted = admitted
 	return admitted
 }
 
@@ -600,7 +751,7 @@ func (s *simulation) startIteration(inst *instState) error {
 	}
 	dur += step
 	inst.iterating = true
-	d.reg.Counter("iterations").Inc()
+	d.cIterations.Inc()
 	if tr := d.cfg.Tracer; tr != nil {
 		phase := "decode"
 		if len(admitted) > 0 {
@@ -610,16 +761,11 @@ func (s *simulation) startIteration(inst *instState) error {
 			obs.Attr{Key: "batch", Value: fmt.Sprint(len(inst.running))},
 			obs.Attr{Key: "admitted", Value: fmt.Sprint(len(admitted))})
 	}
-	s.schedule(s.now+dur, event{kind: evIterationEnd, inst: inst.id})
+	s.schedule(s.now+dur, event{kind: evIterationEnd, inst: inst, epoch: inst.epoch})
 	return nil
 }
 
 func (s *simulation) finishIteration(inst *instState) error {
-	if inst.retired {
-		// The node crashed mid-iteration; the batch was requeued and the
-		// pending iteration-end event means nothing.
-		return nil
-	}
 	d := s.deps[inst.dep]
 	inst.iterating = false
 	keep := inst.running[:0]
@@ -627,12 +773,13 @@ func (s *simulation) finishIteration(inst *instState) error {
 		r.emitted++
 		if !r.ttftSeen {
 			r.ttftSeen = true
-			d.reg.Sample("ttft").Add(s.now - r.Arrival)
+			d.sTTFT.Add(s.now - r.Arrival)
 		}
 		if r.emitted >= r.OutputTokens {
-			d.reg.Sample("e2e").Add(s.now - r.Arrival)
-			d.reg.Counter("completed").Inc()
+			d.sE2E.Add(s.now - r.Arrival)
+			d.cCompleted.Inc()
 			s.completed++
+			d.outstanding--
 			inst.kvTokens -= r.PromptTokens + r.OutputTokens
 			if s.now > d.lastDone {
 				d.lastDone = s.now
@@ -641,6 +788,7 @@ func (s *simulation) finishIteration(inst *instState) error {
 				s.lastDone = s.now
 			}
 			s.maybeFollowUp(r)
+			s.freeReq(r)
 			continue
 		}
 		keep = append(keep, r)
@@ -671,24 +819,25 @@ func (s *simulation) maybeFollowUp(r *reqState) {
 	if newTokens <= 0 {
 		newTokens = workload.ShareGPTMeanPrompt / 4
 	}
-	next := &reqState{
-		Request: workload.Request{
-			ID:           len(s.states),
-			Arrival:      s.now + fu.ThinkTime,
-			PromptTokens: r.PromptTokens + r.OutputTokens + newTokens,
-			OutputTokens: r.OutputTokens,
-		},
-		dep:  r.dep,
-		turn: r.turn + 1,
+	next := s.newReq()
+	next.Request = workload.Request{
+		ID:           s.nextID,
+		Arrival:      s.now + fu.ThinkTime,
+		PromptTokens: r.PromptTokens + r.OutputTokens + newTokens,
+		OutputTokens: r.OutputTokens,
 	}
-	s.states = append(s.states, next)
-	d.reg.Counter("follow_ups").Inc()
-	s.schedule(next.Arrival, event{kind: evArrival, req: next.ID})
+	next.dep = r.dep
+	next.turn = r.turn + 1
+	s.nextID++
+	s.created++
+	d.cFollowUps.Inc()
+	s.schedule(next.Arrival, event{kind: evArrival, req: next})
 }
 
 func (s *simulation) markIdle(inst *instState) {
 	inst.idleSince = s.now
 	if s.deps[inst.dep].cfg.IdleTimeout > 0 {
-		s.schedule(s.now+s.deps[inst.dep].cfg.IdleTimeout, event{kind: evIdleCheck, inst: inst.id})
+		s.schedule(s.now+s.deps[inst.dep].cfg.IdleTimeout,
+			event{kind: evIdleCheck, inst: inst, epoch: inst.epoch})
 	}
 }

@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/medusa-repro/medusa/internal/serverless"
+	"github.com/medusa-repro/medusa/internal/workload"
+)
+
+// zipfArrivals streams one arrival process across a fleet of
+// deployments with Zipf-distributed popularity — the pull-based
+// counterpart of ZipfDeployments. Draw order matches ZipfDeployments
+// exactly (one Zipf draw per request, in trace order), so both paths
+// route request k of the trace to the same deployment. Unlike the
+// slice-based splitter it never materializes the trace and never
+// reshuffles requests into empty deployments: a deployment the Zipf
+// draw skips simply serves no traffic.
+type zipfArrivals struct {
+	src  workload.Source
+	zipf *rand.Zipf
+}
+
+// ZipfArrivals wraps a request source into a fleet-wide arrival stream
+// with Zipf-distributed deployment popularity (skew s > 1; deployment 0
+// is the most popular). numDeps must match the simulation's deployment
+// count.
+func ZipfArrivals(src workload.Source, numDeps int, seed int64, s float64) (serverless.ArrivalSource, error) {
+	if numDeps <= 0 {
+		return nil, fmt.Errorf("cluster: no deployments to split across")
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("cluster: Zipf skew must be > 1, got %g", s)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, s, 1, uint64(numDeps-1))
+	if zipf == nil {
+		return nil, fmt.Errorf("cluster: invalid Zipf parameters (s=%g, n=%d)", s, numDeps)
+	}
+	return &zipfArrivals{src: src, zipf: zipf}, nil
+}
+
+func (z *zipfArrivals) Next() (int, workload.Request, bool) {
+	req, ok := z.src.Next()
+	if !ok {
+		return 0, workload.Request{}, false
+	}
+	return int(z.zipf.Uint64()), req, true
+}
+
+func (z *zipfArrivals) Err() error { return z.src.Err() }

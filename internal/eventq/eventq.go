@@ -1,0 +1,132 @@
+// Package eventq provides the containers on the simulators' hottest
+// path: a monomorphized 4-ary min-heap for timed events and a
+// ring-buffer deque for FIFO queues.
+//
+// Both discrete-event loops (internal/serverless, internal/cluster)
+// previously sat on container/heap, whose interface-based API boxes
+// every Push/Pop operand into an `any` — one allocation and one
+// dynamic dispatch per event, twice per event lifetime. Queue is
+// generic over the payload, so events move through it by value with no
+// boxing, and the 4-ary layout does the same work with roughly half
+// the levels (and half the compare-and-swap cascades) of a binary heap
+// on the mostly-near-sorted pushes a simulation produces.
+//
+// Determinism contract: Pop returns events in strictly increasing
+// (time, sequence) order, where the sequence number is assigned by
+// Push in call order. This is exactly the (t, seq) tie-break the event
+// loops used with container/heap, so a fixed-seed simulation pops the
+// same events in the same order regardless of heap arity or
+// implementation details.
+package eventq
+
+import "time"
+
+// arity is the heap fan-out. Four children per node halves the tree
+// depth of a binary heap; sift-down scans at most four children per
+// level, which stays within one cache line for the entry sizes the
+// simulators use.
+const arity = 4
+
+// entry is one scheduled event: its instant, its tie-break sequence,
+// and the caller's payload.
+type entry[T any] struct {
+	t   time.Duration
+	seq uint64
+	v   T
+}
+
+// less orders entries by (t, seq). Sequences are unique, so the order
+// is total and Pop is deterministic.
+func (e *entry[T]) less(o *entry[T]) bool {
+	if e.t != o.t {
+		return e.t < o.t
+	}
+	return e.seq < o.seq
+}
+
+// Queue is a deterministic min-heap of timed events. The zero value is
+// an empty queue ready for use.
+type Queue[T any] struct {
+	entries []entry[T]
+	seq     uint64
+}
+
+// Len reports the number of pending events.
+func (q *Queue[T]) Len() int { return len(q.entries) }
+
+// Reserve grows the underlying storage to hold at least n events
+// without reallocating.
+func (q *Queue[T]) Reserve(n int) {
+	if cap(q.entries) < n {
+		grown := make([]entry[T], len(q.entries), n)
+		copy(grown, q.entries)
+		q.entries = grown
+	}
+}
+
+// Push schedules v at instant t, assigning the next sequence number.
+// Events pushed earlier win ties at equal t.
+func (q *Queue[T]) Push(t time.Duration, v T) {
+	e := entry[T]{t: t, seq: q.seq, v: v}
+	q.seq++
+	q.entries = append(q.entries, e)
+	q.siftUp(len(q.entries) - 1)
+}
+
+// Pop removes and returns the earliest event. It must not be called on
+// an empty queue (guard with Len).
+func (q *Queue[T]) Pop() (time.Duration, T) {
+	root := q.entries[0]
+	last := len(q.entries) - 1
+	if last > 0 {
+		q.entries[0] = q.entries[last]
+	}
+	// Clear the vacated slot so payloads holding pointers don't pin
+	// their referents beyond the event's lifetime.
+	q.entries[last] = entry[T]{}
+	q.entries = q.entries[:last]
+	if last > 0 {
+		q.siftDown(0)
+	}
+	return root.t, root.v
+}
+
+func (q *Queue[T]) siftUp(i int) {
+	e := q.entries[i]
+	for i > 0 {
+		parent := (i - 1) / arity
+		if !e.less(&q.entries[parent]) {
+			break
+		}
+		q.entries[i] = q.entries[parent]
+		i = parent
+	}
+	q.entries[i] = e
+}
+
+func (q *Queue[T]) siftDown(i int) {
+	e := q.entries[i]
+	n := len(q.entries)
+	for {
+		first := i*arity + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + arity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if q.entries[c].less(&q.entries[min]) {
+				min = c
+			}
+		}
+		if !q.entries[min].less(&e) {
+			break
+		}
+		q.entries[i] = q.entries[min]
+		i = min
+	}
+	q.entries[i] = e
+}

@@ -1,0 +1,166 @@
+package eventq
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// refEvent / refHeap reimplement the container/heap event queue the
+// simulators used before the 4-ary migration — the oracle the generic
+// queue must match pop-for-pop.
+type refEvent struct {
+	t   time.Duration
+	seq int
+	v   int
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// TestQueueMatchesContainerHeap drives both implementations with the
+// same interleaved push/pop schedule, including deliberate timestamp
+// collisions, and requires identical pop sequences.
+func TestQueueMatchesContainerHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var q Queue[int]
+	var ref refHeap
+	seq := 0
+	pushes, pops := 0, 0
+	for step := 0; step < 20000; step++ {
+		if q.Len() != ref.Len() {
+			t.Fatalf("length diverged: %d vs %d", q.Len(), ref.Len())
+		}
+		if q.Len() == 0 || rng.Intn(3) != 0 {
+			// Coarse timestamps force frequent ties so the (t, seq)
+			// tie-break is actually exercised.
+			at := time.Duration(rng.Intn(50)) * time.Millisecond
+			q.Push(at, step)
+			heap.Push(&ref, refEvent{t: at, seq: seq, v: step})
+			seq++
+			pushes++
+		} else {
+			gt, gv := q.Pop()
+			want := heap.Pop(&ref).(refEvent)
+			if gt != want.t || gv != want.v {
+				t.Fatalf("pop %d diverged: got (%v, %d), want (%v, %d)", pops, gt, gv, want.t, want.v)
+			}
+			pops++
+		}
+	}
+	for q.Len() > 0 {
+		gt, gv := q.Pop()
+		want := heap.Pop(&ref).(refEvent)
+		if gt != want.t || gv != want.v {
+			t.Fatalf("drain diverged: got (%v, %d), want (%v, %d)", gt, gv, want.t, want.v)
+		}
+	}
+	if ref.Len() != 0 {
+		t.Fatalf("oracle still holds %d events", ref.Len())
+	}
+	if pushes < 1000 || pops < 1000 {
+		t.Fatalf("schedule too tame: %d pushes, %d pops", pushes, pops)
+	}
+}
+
+func TestQueueFIFOAtEqualTime(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 100; i++ {
+		q.Push(time.Second, i)
+	}
+	for i := 0; i < 100; i++ {
+		at, v := q.Pop()
+		if at != time.Second || v != i {
+			t.Fatalf("pop %d: got (%v, %d); ties must pop in push order", i, at, v)
+		}
+	}
+}
+
+func TestQueueReserve(t *testing.T) {
+	var q Queue[string]
+	q.Push(2*time.Second, "b")
+	q.Reserve(1024)
+	q.Push(time.Second, "a")
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d after Reserve", q.Len())
+	}
+	if _, v := q.Pop(); v != "a" {
+		t.Fatalf("Reserve broke ordering: popped %q", v)
+	}
+	if _, v := q.Pop(); v != "b" {
+		t.Fatalf("Reserve broke ordering: popped %q", v)
+	}
+}
+
+func TestDequeFIFO(t *testing.T) {
+	var d Deque[int]
+	next, expect := 0, 0
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 10000; step++ {
+		if d.Len() == 0 || rng.Intn(3) != 0 {
+			d.PushBack(next)
+			next++
+		} else {
+			if got := d.Front(); got != expect {
+				t.Fatalf("Front = %d, want %d", got, expect)
+			}
+			if got := d.PopFront(); got != expect {
+				t.Fatalf("PopFront = %d, want %d", got, expect)
+			}
+			expect++
+		}
+	}
+	for d.Len() > 0 {
+		if got := d.PopFront(); got != expect {
+			t.Fatalf("drain PopFront = %d, want %d", got, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("popped %d of %d pushed", expect, next)
+	}
+}
+
+// TestDequeBoundedMemory pins the deque's reason for existing: a queue
+// that oscillates around a small depth must not grow its buffer with
+// total throughput.
+func TestDequeBoundedMemory(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 100000; i++ {
+		d.PushBack(i)
+		if d.Len() > 4 {
+			d.PopFront()
+		}
+	}
+	if len(d.buf) > 16 {
+		t.Fatalf("ring grew to %d slots for a depth-4 queue", len(d.buf))
+	}
+}
+
+func BenchmarkQueuePushPop(b *testing.B) {
+	var q Queue[int]
+	rng := rand.New(rand.NewSource(1))
+	at := make([]time.Duration, 1024)
+	for i := range at {
+		at[i] = time.Duration(rng.Int63n(int64(time.Hour)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(at[i%len(at)], i)
+		if q.Len() > 512 {
+			q.Pop()
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestExtScaleDeterministicAcrossWorkers pins the parallel-replication
+// determinism argument end to end: the sweep's report — five fleet
+// replications fanned across a worker pool, merged into mean ± CI —
+// renders byte-identically however many workers GOMAXPROCS grants.
+func TestExtScaleDeterministicAcrossWorkers(t *testing.T) {
+	r1 := runExp(t, "ext-scale")
+	if len(r1.Rows) != extScaleReps {
+		t.Fatalf("want %d replication rows, got %d", extScaleReps, len(r1.Rows))
+	}
+	prev := runtime.GOMAXPROCS(1)
+	second := runExp(t, "ext-scale").Render()
+	runtime.GOMAXPROCS(prev)
+	if first := r1.Render(); first != second {
+		t.Fatalf("ext-scale output depends on worker count:\n--- parallel\n%s\n--- sequential\n%s", first, second)
+	}
+}

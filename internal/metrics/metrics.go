@@ -1,6 +1,16 @@
 // Package metrics provides the latency statistics the evaluation
 // reports: percentiles (the paper's headline metric is p99 TTFT),
 // means, and simple throughput accounting.
+//
+// Samples aggregate in a streaming fashion: counts, sums and extrema
+// are exact for any run length, while the value set behind quantiles
+// is bounded by a deterministic reservoir (DefaultReservoir
+// observations by default). A sample that never exceeds its reservoir
+// retains everything, so small runs — every test and every checked-in
+// experiment — compute exactly what a fully-retained sample would;
+// 10M-request simulations hold a few thousand values per sample
+// instead of tens of millions. Retain lifts the bound for callers that
+// need every observation.
 package metrics
 
 import (
@@ -11,30 +21,122 @@ import (
 	"time"
 )
 
-// Sample is a latency observation series.
+// DefaultReservoir is the number of observations a sample retains for
+// quantile estimation before reservoir sampling kicks in.
+const DefaultReservoir = 8192
+
+// reservoirSalt seeds the deterministic slot draws of the reservoir
+// (splitmix64 of salt ⊕ observation ordinal). The draw sequence is a
+// fixed function of insertion order — no RNG state, no config seed —
+// so a fixed-seed simulation renders byte-identical summaries across
+// runs, GOMAXPROCS and process restarts.
+const reservoirSalt = 0x9e3779b97f4a7c15
+
+// splitmix64 is the SplitMix64 finalizer — a strong 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Sample is a latency observation series with streaming aggregation.
+// The zero value is ready for use and bounds its retained values at
+// DefaultReservoir.
 type Sample struct {
 	vals []time.Duration
+	// limit is the retention bound: 0 means DefaultReservoir, negative
+	// means retain every observation.
+	limit int
+	// offered counts values offered to the reservoir (Add observations
+	// plus merged values), the ordinal the deterministic slot draw is
+	// keyed on.
+	offered uint64
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+}
+
+// Retain lifts the sample's retention bound so every observation is
+// kept — the opt-in path for exporters and tests that need exact
+// quantiles at any run length. Call it before adding observations.
+func (s *Sample) Retain() { s.limit = -1 }
+
+// reservoir returns the retention bound (0 = unlimited).
+func (s *Sample) reservoir() int {
+	switch {
+	case s.limit < 0:
+		return 0
+	case s.limit == 0:
+		return DefaultReservoir
+	default:
+		return s.limit
+	}
 }
 
 // Add appends an observation.
-func (s *Sample) Add(d time.Duration) { s.vals = append(s.vals, d) }
+func (s *Sample) Add(d time.Duration) {
+	s.count++
+	s.sum += d
+	if s.count == 1 || d > s.max {
+		s.max = d
+	}
+	s.offer(d)
+}
+
+// offer routes one value into the retained set: appended while the
+// reservoir has room, then displacing a deterministically drawn slot
+// with probability k/n (Vitter's algorithm R).
+func (s *Sample) offer(d time.Duration) {
+	s.offered++
+	k := s.reservoir()
+	if k == 0 || len(s.vals) < k {
+		s.vals = append(s.vals, d)
+		return
+	}
+	if j := splitmix64(reservoirSalt ^ s.offered) % s.offered; j < uint64(k) {
+		s.vals[j] = d
+	}
+}
 
 // Len reports the observation count.
-func (s *Sample) Len() int { return len(s.vals) }
+func (s *Sample) Len() int { return int(s.count) }
 
-// AddAll appends every observation of another sample — fleet-level
-// percentiles merge the per-deployment series this way.
+// Retained reports how many observations the sample currently holds
+// for quantile estimation. Retained < Len means quantiles are
+// reservoir estimates rather than exact order statistics.
+func (s *Sample) Retained() int { return len(s.vals) }
+
+// AddAll merges another sample — fleet-level percentiles merge the
+// per-deployment series this way, and replication merges fold per-rep
+// samples in rep order. Counts, sums and maxima merge exactly; the
+// other sample's retained values are offered to this sample's
+// reservoir in their stored order, which keeps the merge a
+// deterministic function of merge order.
 func (s *Sample) AddAll(o *Sample) {
-	if o != nil {
-		s.vals = append(s.vals, o.vals...)
+	if o == nil || o.count == 0 {
+		return
+	}
+	if s.count == 0 || o.max > s.max {
+		s.max = o.max
+	}
+	s.count += o.count
+	s.sum += o.sum
+	for _, v := range o.vals {
+		s.offer(v)
 	}
 }
 
 // Quantile returns the p-quantile (0 < p ≤ 1) using the nearest-rank
-// method on a sorted copy, and false instead of a value when the
-// sample is empty or p is out of range. This is the non-panicking
-// accessor for code paths where an empty sample is a legitimate state
-// (a deployment that saw no traffic) rather than a caller bug.
+// method on a sorted copy of the retained values, and false instead of
+// a value when the sample is empty or p is out of range. This is the
+// non-panicking accessor for code paths where an empty sample is a
+// legitimate state (a deployment that saw no traffic) rather than a
+// caller bug. Beyond the retention bound the result is a reservoir
+// estimate; within it, the exact order statistic.
 func (s *Sample) Quantile(p float64) (time.Duration, bool) {
 	if len(s.vals) == 0 || p <= 0 || p > 1 {
 		return 0, false
@@ -50,7 +152,7 @@ func (s *Sample) Quantile(p float64) (time.Duration, bool) {
 // p: asking for a percentile of nothing is a caller bug. Quantile is
 // the non-panicking form.
 func (s *Sample) Percentile(p float64) time.Duration {
-	if len(s.vals) == 0 {
+	if s.count == 0 {
 		panic("metrics: percentile of empty sample")
 	}
 	if p <= 0 || p > 100 {
@@ -75,14 +177,14 @@ type Summary struct {
 
 // Summary digests the sample, reporting false when it is empty.
 func (s *Sample) Summary() (Summary, bool) {
-	if len(s.vals) == 0 {
+	if s.count == 0 {
 		return Summary{}, false
 	}
 	p50, _ := s.Quantile(0.50)
 	p90, _ := s.Quantile(0.90)
 	p99, _ := s.Quantile(0.99)
 	return Summary{
-		Count: len(s.vals),
+		Count: int(s.count),
 		Mean:  s.Mean(),
 		P50:   p50,
 		P90:   p90,
@@ -91,36 +193,28 @@ func (s *Sample) Summary() (Summary, bool) {
 	}, true
 }
 
-// Mean returns the arithmetic mean.
+// Mean returns the arithmetic mean. It is exact at any run length (the
+// sum and count stream; the reservoir is not involved).
 func (s *Sample) Mean() time.Duration {
-	if len(s.vals) == 0 {
+	if s.count == 0 {
 		panic("metrics: mean of empty sample")
 	}
-	var sum time.Duration
-	for _, v := range s.vals {
-		sum += v
-	}
-	return sum / time.Duration(len(s.vals))
+	return s.sum / time.Duration(s.count)
 }
 
-// Max returns the largest observation.
+// Max returns the largest observation (exact at any run length).
 func (s *Sample) Max() time.Duration {
-	if len(s.vals) == 0 {
+	if s.count == 0 {
 		panic("metrics: max of empty sample")
 	}
-	max := s.vals[0]
-	for _, v := range s.vals[1:] {
-		if v > max {
-			max = v
-		}
-	}
-	return max
+	return s.max
 }
 
 // FractionBelow reports the share of observations at or under the
-// threshold — SLO attainment (e.g. "TTFT under one second").
+// threshold — SLO attainment (e.g. "TTFT under one second"). Beyond
+// the retention bound it is estimated over the reservoir.
 func (s *Sample) FractionBelow(d time.Duration) float64 {
-	if len(s.vals) == 0 {
+	if s.count == 0 {
 		panic("metrics: FractionBelow of empty sample")
 	}
 	n := 0
@@ -133,11 +227,12 @@ func (s *Sample) FractionBelow(d time.Duration) float64 {
 }
 
 // Histogram renders a compact text histogram with the given bucket
-// width — a quick look at a latency distribution's shape. An empty
-// sample or a non-positive bucket width renders as the empty string:
-// there is no distribution to draw, and callers print the result
-// verbatim, so "nothing" is the documented representation of "no
-// data" (not an error).
+// width — a quick look at a latency distribution's shape (drawn over
+// the retained values; beyond the retention bound the counts describe
+// the reservoir). An empty sample or a non-positive bucket width
+// renders as the empty string: there is no distribution to draw, and
+// callers print the result verbatim, so "nothing" is the documented
+// representation of "no data" (not an error).
 func (s *Sample) Histogram(bucket time.Duration, maxWidth int) string {
 	if bucket <= 0 || len(s.vals) == 0 {
 		return ""
@@ -189,4 +284,29 @@ func Reduction(base, new time.Duration) float64 {
 		return 0
 	}
 	return 1 - float64(new)/float64(base)
+}
+
+// MeanCI returns the sample mean of xs and the half-width of its 95%
+// confidence interval under a normal approximation (1.96 standard
+// errors) — the merge statistic parallel independent-seed replications
+// report. Fewer than two values carry no spread information, so the
+// half-width is 0.
+func MeanCI(xs []float64) (mean, half float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	return mean, 1.96 * sd / math.Sqrt(float64(n))
 }

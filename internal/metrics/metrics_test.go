@@ -163,3 +163,140 @@ func TestHistogram(t *testing.T) {
 		t.Fatal("zero-bucket histogram not empty")
 	}
 }
+
+// TestReservoirExactUnderCap pins the property every existing test and
+// checked-in experiment relies on: a sample that never exceeds the
+// retention bound behaves exactly like a fully-retained one.
+func TestReservoirExactUnderCap(t *testing.T) {
+	var s Sample
+	for i := 0; i < DefaultReservoir; i++ {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	if s.Retained() != DefaultReservoir || s.Len() != DefaultReservoir {
+		t.Fatalf("Retained=%d Len=%d, want %d each", s.Retained(), s.Len(), DefaultReservoir)
+	}
+	if got := s.Percentile(50); got != time.Duration(DefaultReservoir/2-1)*time.Millisecond {
+		t.Fatalf("p50 = %v under cap, want exact order statistic", got)
+	}
+	if got := s.Max(); got != time.Duration(DefaultReservoir-1)*time.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+}
+
+// TestReservoirBoundedAndDeterministic drives a sample past the cap and
+// checks (a) retention stays bounded, (b) the exact aggregates stay
+// exact, (c) two identical insertion orders produce identical reservoirs
+// — the determinism the byte-identical-output guarantee rests on.
+func TestReservoirBoundedAndDeterministic(t *testing.T) {
+	const n = 3 * DefaultReservoir
+	build := func() *Sample {
+		var s Sample
+		for i := 0; i < n; i++ {
+			s.Add(time.Duration(i) * time.Microsecond)
+		}
+		return &s
+	}
+	a, b := build(), build()
+	if a.Retained() != DefaultReservoir {
+		t.Fatalf("Retained = %d, want %d", a.Retained(), DefaultReservoir)
+	}
+	if a.Len() != n {
+		t.Fatalf("Len = %d, want %d", a.Len(), n)
+	}
+	if a.Max() != time.Duration(n-1)*time.Microsecond {
+		t.Fatalf("max lost: %v", a.Max())
+	}
+	if a.Mean() != b.Mean() || a.Percentile(99) != b.Percentile(99) || a.Percentile(50) != b.Percentile(50) {
+		t.Fatal("identical insertion orders diverged")
+	}
+	sa, _ := a.Summary()
+	sb, _ := b.Summary()
+	if sa != sb {
+		t.Fatalf("summaries diverged: %+v vs %+v", sa, sb)
+	}
+	// Mean is exact (streamed), independent of the reservoir.
+	if want := time.Duration(n-1) * time.Microsecond / 2; sa.Mean != want {
+		t.Fatalf("mean = %v, want %v", sa.Mean, want)
+	}
+}
+
+// TestReservoirEstimatesQuantiles sanity-checks that beyond the cap the
+// reservoir still estimates quantiles usefully: uniform data in
+// [0, 10s) must put p50 and p99 within a loose band of truth.
+func TestReservoirEstimatesQuantiles(t *testing.T) {
+	var s Sample
+	const n = 100000
+	for i := 0; i < n; i++ {
+		// Insert in a scrambled but deterministic order.
+		v := (uint64(i) * 2654435761) % n
+		s.Add(time.Duration(v) * 10 * time.Second / n)
+	}
+	p50 := s.Percentile(50)
+	if p50 < 4*time.Second || p50 > 6*time.Second {
+		t.Fatalf("p50 estimate %v far from 5s", p50)
+	}
+	p99 := s.Percentile(99)
+	if p99 < 9*time.Second || p99 > 10*time.Second {
+		t.Fatalf("p99 estimate %v far from 9.9s", p99)
+	}
+	if frac := s.FractionBelow(5 * time.Second); frac < 0.4 || frac > 0.6 {
+		t.Fatalf("FractionBelow(5s) = %v far from 0.5", frac)
+	}
+}
+
+// TestRetain opts a sample out of the bound.
+func TestRetain(t *testing.T) {
+	var s Sample
+	s.Retain()
+	const n = DefaultReservoir + 100
+	for i := 0; i < n; i++ {
+		s.Add(time.Duration(i))
+	}
+	if s.Retained() != n {
+		t.Fatalf("Retained = %d after Retain, want %d", s.Retained(), n)
+	}
+}
+
+// TestAddAllMergesExactAggregates checks the streaming fields merge
+// exactly and deterministically.
+func TestAddAllMergesExactAggregates(t *testing.T) {
+	a := sampleOf(time.Second, 3*time.Second)
+	b := sampleOf(2*time.Second, 10*time.Second)
+	var m Sample
+	m.AddAll(a)
+	m.AddAll(b)
+	m.AddAll(nil)
+	m.AddAll(&Sample{})
+	if m.Len() != 4 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if m.Mean() != 4*time.Second {
+		t.Fatalf("Mean = %v", m.Mean())
+	}
+	if m.Max() != 10*time.Second {
+		t.Fatalf("Max = %v", m.Max())
+	}
+	if m.Percentile(99) != 10*time.Second {
+		t.Fatalf("p99 = %v", m.Percentile(99))
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	if mean, half := MeanCI(nil); mean != 0 || half != 0 {
+		t.Fatalf("MeanCI(nil) = %v ± %v", mean, half)
+	}
+	if mean, half := MeanCI([]float64{7}); mean != 7 || half != 0 {
+		t.Fatalf("MeanCI(single) = %v ± %v", mean, half)
+	}
+	mean, half := MeanCI([]float64{1, 2, 3, 4, 5})
+	if mean != 3 {
+		t.Fatalf("mean = %v", mean)
+	}
+	// sd = sqrt(2.5), se = sd/sqrt(5), half = 1.96*se ≈ 1.386
+	if half < 1.38 || half > 1.39 {
+		t.Fatalf("half-width = %v", half)
+	}
+	if _, h := MeanCI([]float64{4, 4, 4}); h != 0 {
+		t.Fatalf("identical values must give zero width, got %v", h)
+	}
+}

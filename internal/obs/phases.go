@@ -24,12 +24,18 @@ type Interval struct {
 // TimelineIntervals converts a cold-start stage timeline into
 // intervals, shifting every stage by offset.
 func TimelineIntervals(tl *trace.Timeline, offset time.Duration) []Interval {
-	stages := tl.Stages()
-	out := make([]Interval, 0, len(stages))
-	for _, st := range stages {
-		out = append(out, Interval{Phase: st.Name, Start: offset + st.Start, End: offset + st.End})
+	return AppendTimelineIntervals(nil, tl, offset)
+}
+
+// AppendTimelineIntervals is TimelineIntervals into a caller-provided
+// buffer — the allocation-free form for hot loops that convert one
+// timeline per cold start. AddExclusive does not retain its input, so
+// callers may reuse the buffer across calls.
+func AppendTimelineIntervals(dst []Interval, tl *trace.Timeline, offset time.Duration) []Interval {
+	for _, st := range tl.Stages() {
+		dst = append(dst, Interval{Phase: st.Name, Start: offset + st.Start, End: offset + st.End})
 	}
-	return out
+	return dst
 }
 
 // PhaseBreakdown accumulates exclusive per-phase durations — the

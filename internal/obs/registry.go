@@ -20,6 +20,17 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	samples  map[string]*metrics.Sample
+	retain   bool
+}
+
+// RetainSamples makes every sample created after the call retain all
+// observations instead of bounding them at the default reservoir — the
+// registry-level switch behind the simulators' RetainPerRequest option.
+// Call it before the first Sample lookup.
+func (r *Registry) RetainSamples() {
+	r.mu.Lock()
+	r.retain = true
+	r.mu.Unlock()
 }
 
 // NewRegistry returns an empty registry.
@@ -122,6 +133,9 @@ func (r *Registry) Sample(name string) *metrics.Sample {
 	s, ok := r.samples[name]
 	if !ok {
 		s = &metrics.Sample{}
+		if r.retain {
+			s.Retain()
+		}
 		r.samples[name] = s
 	}
 	return s

@@ -1,0 +1,54 @@
+// Package prof wires runtime/pprof into the CLI commands: a CPU
+// profile around the run and a heap snapshot at exit, so hot-path
+// regressions can be diagnosed without code edits (see EXPERIMENTS.md).
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start starts CPU profiling and returns a stop function that finishes
+// the CPU profile and writes the heap profile. Either path may be
+// empty. The returned function is safe to call exactly once.
+func Start(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // materialize live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "heap profile written to %s\n", memPath)
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,58 @@
+package replicate
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRunCollectsInOrder(t *testing.T) {
+	got, err := Run(8, 4, func(rep int) (int, error) { return rep * rep, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 4, 9, 16, 25, 36, 49}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestRunWorkerCountInvariant(t *testing.T) {
+	fn := func(rep int) (string, error) { return fmt.Sprintf("rep-%d", rep), nil }
+	seq, err := Run(5, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 16, 0} {
+		par, err := Run(5, workers, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d changed results: %v vs %v", workers, par, seq)
+		}
+	}
+}
+
+func TestRunReportsLowestFailedRep(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Run(6, 3, func(rep int) (int, error) {
+		if rep == 2 || rep == 4 {
+			return 0, boom
+		}
+		return rep, nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("want wrapped boom, got %v", err)
+	}
+	if want := "replicate: replication 2: boom"; err.Error() != want {
+		t.Fatalf("got %q, want %q", err.Error(), want)
+	}
+}
+
+func TestRunRejectsZeroReps(t *testing.T) {
+	if _, err := Run(0, 1, func(int) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("want error for n=0")
+	}
+}

@@ -1,0 +1,81 @@
+package serverless
+
+import (
+	"github.com/medusa-repro/medusa/internal/workload"
+)
+
+// ArrivalSource streams (deployment, request) arrivals across a whole
+// multi-deployment simulation in nondecreasing arrival order — the form
+// the event loop consumes traffic in. Pull-based delivery is what lets
+// a 10M-request run hold O(active) request state: the simulator keeps
+// exactly one undelivered arrival in its event queue and pulls the next
+// only when that one fires.
+type ArrivalSource interface {
+	// Next returns the next arrival's deployment index and request, or
+	// ok == false once the stream is exhausted (or failed — check Err).
+	Next() (dep int, req workload.Request, ok bool)
+	// Err reports the error that terminated the stream early, if any.
+	Err() error
+}
+
+// mergeArrivals k-way merges per-deployment request streams by
+// (arrival, deployment index). The deployment-index tie-break matches
+// the order the slice-based path has always scheduled simultaneous
+// arrivals in (concatenation order), so both paths deliver identical
+// arrival sequences.
+type mergeArrivals struct {
+	srcs  []workload.Source
+	heads []workload.Request
+	ok    []bool
+	err   error
+}
+
+// MergeArrivals merges per-deployment sources into one arrival stream.
+// Each source must emit requests in nondecreasing arrival order.
+func MergeArrivals(perDep []workload.Source) ArrivalSource {
+	m := &mergeArrivals{
+		srcs:  perDep,
+		heads: make([]workload.Request, len(perDep)),
+		ok:    make([]bool, len(perDep)),
+	}
+	for i := range perDep {
+		m.advance(i)
+		if m.err != nil {
+			break
+		}
+	}
+	return m
+}
+
+func (m *mergeArrivals) advance(i int) {
+	m.heads[i], m.ok[i] = m.srcs[i].Next()
+	if !m.ok[i] && m.err == nil {
+		m.err = m.srcs[i].Err()
+	}
+}
+
+func (m *mergeArrivals) Next() (int, workload.Request, bool) {
+	if m.err != nil {
+		return 0, workload.Request{}, false
+	}
+	best := -1
+	for i := range m.srcs {
+		if !m.ok[i] {
+			continue
+		}
+		if best < 0 || m.heads[i].Arrival < m.heads[best].Arrival {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, workload.Request{}, false
+	}
+	req := m.heads[best]
+	m.advance(best)
+	if m.err != nil {
+		return 0, workload.Request{}, false
+	}
+	return best, req, true
+}
+
+func (m *mergeArrivals) Err() error { return m.err }

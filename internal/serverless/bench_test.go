@@ -34,3 +34,38 @@ func BenchmarkClusterSimulation(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkServerlessSimWallclock measures the single-pool event loop
+// at scale: a high-rate trace with instance churn (idle retirement),
+// the regime where per-event heap cost and per-request allocation
+// dominate. results/perf-simcore.txt tracks its trajectory.
+func BenchmarkServerlessSimWallclock(b *testing.B) {
+	cfg, err := model.ByName("Qwen1.5-0.5B")
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := storage.NewStore(storage.DefaultArray())
+	reqs, err := workload.Generate(workload.TraceConfig{
+		Seed: 1, RPS: 200, Duration: 60 * time.Second,
+		MeanOutput: 8, MaxOutput: 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := Config{
+		Model: cfg, Strategy: engine.StrategyVLLM, Store: store, Seed: 1,
+		Autoscale: Autoscale{IdleTimeout: 250 * time.Millisecond, InstanceTarget: 64},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(sc, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(reqs)), "requests")
+			b.ReportMetric(float64(res.ColdStarts), "cold_starts")
+		}
+	}
+}

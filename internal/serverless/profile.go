@@ -46,7 +46,7 @@ func (pr *Profile) ColdStart() time.Duration { return pr.p.coldStart }
 func (pr *Profile) Timeline() *trace.Timeline { return pr.p.timeline }
 
 // Prefill prices prefilling a prompt of the given token count.
-func (pr *Profile) Prefill(tokens int) (time.Duration, error) { return pr.p.prefill(tokens) }
+func (pr *Profile) Prefill(tokens int) (time.Duration, error) { return pr.p.prefillDur(tokens) }
 
 // DecodeStep prices one continuous-batching iteration for n running
 // sequences, including per-sequence KV reads at the assumed context.

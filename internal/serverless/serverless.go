@@ -104,6 +104,13 @@ type Config struct {
 	// Seed namespaces the profile instance's address space and the
 	// follow-up sampling.
 	Seed int64
+	// RetainPerRequest keeps every per-request observation in the
+	// deployment's latency samples instead of the default bounded
+	// deterministic reservoir. Small runs are exact either way (the
+	// reservoir only engages past metrics.DefaultReservoir observations
+	// per sample); opt in when a large run needs exact quantiles and the
+	// memory to hold them is acceptable.
+	RetainPerRequest bool
 	// Tracer, when set, records the deployment's spans: per-instance
 	// cold starts with phase children, per-iteration serving spans, and
 	// per-request queueing. All timestamps are simulation-virtual.
@@ -266,6 +273,32 @@ type profile struct {
 	graphBatch func(int) int
 	ensure     func(int) (time.Duration, error)
 	capCost    map[int]time.Duration
+
+	// Hot-path memoization keyed on the simulator's call arguments.
+	// The engine memoizes too, but only after re-deriving graph-batch
+	// quantization and cache keys per call; these caches make the
+	// steady-state per-iteration cost a single map probe. Values are
+	// stable: the engine's one-time lazy loads are absorbed before
+	// first use (cold start or, for deferred capture, the ensure that
+	// startIteration always runs before the first decode of a size).
+	prefillCache map[int]time.Duration
+	stepCache    map[int]time.Duration
+}
+
+// prefillDur memoizes prefill by exact prompt length.
+func (p *profile) prefillDur(tokens int) (time.Duration, error) {
+	if d, ok := p.prefillCache[tokens]; ok {
+		return d, nil
+	}
+	d, err := p.prefill(tokens)
+	if err != nil {
+		return 0, err
+	}
+	if p.prefillCache == nil {
+		p.prefillCache = make(map[int]time.Duration)
+	}
+	p.prefillCache[tokens] = d
+	return d, nil
 }
 
 // buildProfile cold-starts one template instance (or tensor-parallel
@@ -367,11 +400,19 @@ func (p *profile) captureCost(n int) (int, time.Duration, error) {
 
 // decodeStep is one continuous-batching iteration for n sequences.
 func (p *profile) decodeStep(n int) (time.Duration, error) {
+	if d, ok := p.stepCache[n]; ok {
+		return d, nil
+	}
 	base, err := p.decode(n)
 	if err != nil {
 		return 0, err
 	}
-	return base + time.Duration(n)*p.kvPerTok, nil
+	d := base + time.Duration(n)*p.kvPerTok
+	if p.stepCache == nil {
+		p.stepCache = make(map[int]time.Duration)
+	}
+	p.stepCache[n] = d
+	return d, nil
 }
 
 // Deployment is one model's slice of a shared cluster.
@@ -384,6 +425,11 @@ type Deployment struct {
 	Config Config
 	// Requests is the deployment's arrival trace.
 	Requests []workload.Request
+	// Source, when set, streams the deployment's arrivals instead of
+	// Requests — the scale path, under which the trace never exists in
+	// memory at once. Requests in nondecreasing arrival order; IDs are
+	// reassigned in cluster-wide delivery order.
+	Source workload.Source
 }
 
 // MultiConfig shares one GPU pool among several deployments — the
@@ -397,6 +443,11 @@ type MultiConfig struct {
 	WarmContainers int
 	// Deployments are the co-located models.
 	Deployments []Deployment
+	// Arrivals, when set, supplies every deployment's traffic as one
+	// pre-merged stream (nondecreasing arrival order, deployment indices
+	// into Deployments); the per-deployment Requests/Source fields are
+	// then ignored and request IDs are assigned in delivery order.
+	Arrivals ArrivalSource
 	// Faults applies one fault plan to every deployment's launches (see
 	// Config.Faults for which sites the single-pool simulator honors).
 	Faults *faults.Plan
@@ -435,8 +486,18 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 		}
 		sim.inj = inj // nil for a zero plan: the fault paths vanish
 	}
+	// Streaming mode — a pre-merged stream or any per-deployment Source
+	// — assigns request IDs in delivery order; the slice-based path
+	// pre-assigns concatenation-order IDs below (the historical
+	// numbering, which tracer span names embed).
+	streaming := cfg.Arrivals != nil
+	for _, dep := range cfg.Deployments {
+		if dep.Source != nil {
+			streaming = true
+		}
+	}
 	for di, dep := range cfg.Deployments {
-		if len(dep.Requests) == 0 {
+		if !streaming && len(dep.Requests) == 0 {
 			return nil, fmt.Errorf("serverless: deployment %d (%s) has an empty trace", di, dep.Name)
 		}
 		dcfg := dep.Config
@@ -490,17 +551,51 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 			name:     name,
 			reg:      obs.NewRegistry(),
 			phases:   obs.NewPhaseBreakdown(),
-			firstArr: dep.Requests[0].Arrival,
 			rng:      rand.New(rand.NewSource(dcfg.Seed ^ 0x5eed ^ int64(di))),
 		}
-		sim.deps = append(sim.deps, d)
-		for _, r := range dep.Requests {
-			sim.states = append(sim.states, &reqState{Request: r, dep: di, turn: 1})
+		if dcfg.RetainPerRequest {
+			d.reg.RetainSamples()
 		}
+		d.bindInstruments()
+		if !streaming {
+			d.seenArr = true
+			d.firstArr = dep.Requests[0].Arrival
+		}
+		sim.deps = append(sim.deps, d)
 	}
-	// Re-number global request IDs to index states.
-	for i := range sim.states {
-		sim.states[i].ID = i
+	if streaming {
+		sim.renumber = true
+		if cfg.Arrivals != nil {
+			sim.src = cfg.Arrivals
+		} else {
+			perDep := make([]workload.Source, len(cfg.Deployments))
+			for di, dep := range cfg.Deployments {
+				if dep.Source != nil {
+					perDep[di] = dep.Source
+				} else {
+					perDep[di] = workload.NewSlice(dep.Requests)
+				}
+			}
+			sim.src = MergeArrivals(perDep)
+		}
+	} else {
+		// Pre-assign concatenation-order global IDs (the historical
+		// numbering) and merge the per-deployment traces by (arrival,
+		// deployment) — the order the old all-events-upfront scheduler
+		// delivered simultaneous arrivals in.
+		nextID := 0
+		perDep := make([]workload.Source, len(cfg.Deployments))
+		for di, dep := range cfg.Deployments {
+			reqs := make([]workload.Request, len(dep.Requests))
+			copy(reqs, dep.Requests)
+			for i := range reqs {
+				reqs[i].ID = nextID
+				nextID++
+			}
+			perDep[di] = workload.NewSlice(reqs)
+		}
+		sim.src = MergeArrivals(perDep)
+		sim.nextID = nextID
 	}
 	return sim.run()
 }

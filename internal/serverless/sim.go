@@ -1,12 +1,12 @@
 package serverless
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/eventq"
 	"github.com/medusa-repro/medusa/internal/faults"
 	"github.com/medusa-repro/medusa/internal/metrics"
 	"github.com/medusa-repro/medusa/internal/obs"
@@ -19,6 +19,21 @@ import (
 // the setting behind §2.4's economics argument: hot spares for every
 // model type are unaffordable, so cold-start latency is what decides
 // tail TTFT.
+//
+// The event loop is built to scale to 10M+ requests per run:
+//
+//   - Events live in an eventq.Queue (monomorphized 4-ary heap, no
+//     interface boxing) with the (time, push-sequence) tie-break.
+//   - Arrivals are pulled lazily from an ArrivalSource — exactly one
+//     undelivered arrival is in flight at any time, so neither the
+//     trace nor its events are ever materialized in full.
+//   - Request and instance state recycle through free-lists, and the
+//     queues, scratch buffers and registry instruments are reused, so
+//     steady-state allocation is O(active requests), not O(total).
+//   - Bookkeeping that used to scan every instance ever launched
+//     (GPU accounting, dispatch, outstanding counts) is maintained
+//     incrementally via per-deployment live-instance lists and
+//     counters.
 
 // eventKind discriminates simulation events.
 type eventKind int
@@ -30,27 +45,16 @@ const (
 	evIdleCheck
 )
 
-// event is one scheduled occurrence.
+// event is one scheduled occurrence. Arrival events carry the request;
+// instance events carry the instance plus the epoch its state object
+// had when the event was scheduled — recycled instances bump their
+// epoch, which invalidates stale idle checks still in the queue.
 type event struct {
-	t    time.Duration
-	kind eventKind
-	req  int // arrival: global request index
-	inst int // instance id for ready/iteration events
-	seq  int // tie-break for determinism
+	kind  eventKind
+	req   *reqState
+	inst  *instState
+	epoch uint64
 }
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 
 // reqState tracks one request through the system.
 type reqState struct {
@@ -64,8 +68,11 @@ type reqState struct {
 
 // instState is one provisioned instance.
 type instState struct {
-	id      int
-	dep     int
+	id  int
+	dep int
+	// epoch distinguishes incarnations of a recycled state object;
+	// events carry the epoch they were scheduled against.
+	epoch   uint64
 	ready   bool
 	retired bool
 	running []*reqState
@@ -87,6 +94,8 @@ type instState struct {
 // counting goes through the obs registry (samples "ttft"/"e2e",
 // counters "completed"/"cold_starts"/"iterations"/"follow_ups", gauge
 // "live_instances"); the registry itself is returned in the Result.
+// The hot-path instruments are resolved once and cached so the loop
+// never takes the registry's name-lookup mutex per event.
 type depState struct {
 	cfg  Config
 	prof *profile
@@ -99,20 +108,59 @@ type depState struct {
 	fkey     string
 	artRead  time.Duration
 
-	pending  []*reqState
+	pending eventq.Deque[*reqState]
+	// active lists live instances in launch order — the dispatch and
+	// accounting walk, which used to scan every instance ever launched.
+	active []*instState
+	// outstanding counts the deployment's unfinished requests
+	// (pending + running), maintained incrementally.
+	outstanding int
+
 	reg      *obs.Registry
 	phases   *obs.PhaseBreakdown
 	csTotal  time.Duration
 	live     int
 	firstArr time.Duration
+	seenArr  bool
 	lastDone time.Duration
 	rng      *rand.Rand
+
+	// Cached registry instruments (hot path).
+	cCompleted  *obs.Counter
+	cColdStarts *obs.Counter
+	cIterations *obs.Counter
+	cFollowUps  *obs.Counter
+	sTTFT       *metrics.Sample
+	sE2E        *metrics.Sample
+	gLive       *obs.Gauge
+}
+
+// bindInstruments resolves the hot-path instruments once.
+func (d *depState) bindInstruments() {
+	d.cCompleted = d.reg.Counter("completed")
+	d.cColdStarts = d.reg.Counter("cold_starts")
+	d.cIterations = d.reg.Counter("iterations")
+	d.cFollowUps = d.reg.Counter("follow_ups")
+	d.sTTFT = d.reg.Sample("ttft")
+	d.sE2E = d.reg.Sample("e2e")
+	d.gLive = d.reg.Gauge("live_instances")
 }
 
 // liveChanged records the live-instance level in the gauge (its Max is
 // the Result's PeakInstances).
 func (d *depState) liveChanged() {
-	d.reg.Gauge("live_instances").Update(float64(d.live))
+	d.gLive.Update(float64(d.live))
+}
+
+// removeActive deletes inst from the live list, preserving launch
+// order (dispatch order is part of the deterministic contract).
+func (d *depState) removeActive(inst *instState) {
+	for i, a := range d.active {
+		if a == inst {
+			d.active = append(d.active[:i], d.active[i+1:]...)
+			return
+		}
+	}
 }
 
 // simulation is the discrete-event state.
@@ -121,89 +169,183 @@ type simulation struct {
 	warmLeft int // remaining warm containers (-1 = unbounded)
 	inj      *faults.Injector
 
-	deps      []*depState
-	instances []*instState
-	states    []*reqState
+	deps []*depState
+
+	// src streams arrivals; head is the one pulled-but-unfired arrival
+	// whose event sits in the queue.
+	src  ArrivalSource
+	head *reqState
+	// renumber assigns request IDs in delivery order (streaming mode);
+	// the slice-based path pre-assigns concatenation-order IDs instead.
+	renumber bool
+	lastArr  time.Duration
 
 	now    time.Duration
-	events eventHeap
-	seq    int
+	events eventq.Queue[event]
 
-	completed int
-	lastDone  time.Duration
+	// Free-lists for recycled state objects.
+	reqPool  []*reqState
+	instPool []*instState
+	instSeq  int // next instance id
+	nextID   int // next request id (follow-ups, streaming arrivals)
+
+	// Scratch buffers reused across calls on the hot path.
+	scratchIntervals []obs.Interval
+	scratchAdmitted  []*reqState
+
+	created    int
+	completed  int
+	lastDone   time.Duration
+	gpusInUse  int
+	gpuSeconds float64
 }
 
 func (s *simulation) schedule(t time.Duration, ev event) {
-	ev.t = t
-	ev.seq = s.seq
-	s.seq++
-	heap.Push(&s.events, ev)
+	s.events.Push(t, ev)
+}
+
+// newReq returns a zeroed request state from the free-list.
+func (s *simulation) newReq() *reqState {
+	if n := len(s.reqPool); n > 0 {
+		r := s.reqPool[n-1]
+		s.reqPool = s.reqPool[:n-1]
+		return r
+	}
+	return &reqState{}
+}
+
+// freeReq recycles a completed request's state.
+func (s *simulation) freeReq(r *reqState) {
+	*r = reqState{}
+	s.reqPool = append(s.reqPool, r)
+}
+
+// newInst returns a fresh instance state, recycling a retired one if
+// available. The epoch survives recycling (freeInst bumped it), so
+// events scheduled against the previous incarnation no longer match.
+func (s *simulation) newInst(dep int) *instState {
+	var inst *instState
+	if n := len(s.instPool); n > 0 {
+		inst = s.instPool[n-1]
+		s.instPool = s.instPool[:n-1]
+	} else {
+		inst = &instState{}
+	}
+	inst.id = s.instSeq
+	s.instSeq++
+	inst.dep = dep
+	return inst
+}
+
+// freeInst recycles an instance state, invalidating any events still
+// referencing this incarnation.
+func (s *simulation) freeInst(inst *instState) {
+	epoch := inst.epoch + 1
+	running := inst.running[:0]
+	*inst = instState{epoch: epoch, running: running}
+	s.instPool = append(s.instPool, inst)
 }
 
 // runtimeInitDuration mirrors the engine's runtime-initialization
 // phase, paid by launches that miss the warm container pool.
 const runtimeInitDuration = 830 * time.Millisecond
 
-// gpusUsed sums the GPUs held by live instances.
-func (s *simulation) gpusUsed() int {
-	n := 0
-	for _, inst := range s.instances {
-		if !inst.retired {
-			n += s.deps[inst.dep].cfg.TPDegree
-		}
+// pullArrival draws the next arrival from the source and schedules it.
+// Exactly one sourced arrival is in the event queue at a time.
+func (s *simulation) pullArrival() error {
+	di, req, ok := s.src.Next()
+	if !ok {
+		s.head = nil
+		return s.src.Err()
 	}
-	return n
+	if di < 0 || di >= len(s.deps) {
+		return fmt.Errorf("serverless: arrival for unknown deployment %d", di)
+	}
+	if req.Arrival < s.lastArr {
+		return fmt.Errorf("serverless: arrival stream went backwards (%v after %v)", req.Arrival, s.lastArr)
+	}
+	s.lastArr = req.Arrival
+	r := s.newReq()
+	r.Request = req
+	r.dep = di
+	r.turn = 1
+	if s.renumber {
+		r.ID = s.nextID
+		s.nextID++
+	}
+	s.created++
+	s.head = r
+	s.schedule(req.Arrival, event{kind: evArrival, req: r})
+	return nil
 }
 
 func (s *simulation) run() (*MultiResult, error) {
-	heap.Init(&s.events)
 	for di, d := range s.deps {
 		// Pre-warmed instances occupy their GPUs from time zero.
 		for i := 0; i < d.cfg.Prewarm; i++ {
-			if s.gpusUsed()+d.cfg.TPDegree > s.numGPUs {
+			if s.gpusInUse+d.cfg.TPDegree > s.numGPUs {
 				break
 			}
-			inst := &instState{id: len(s.instances), dep: di, ready: true}
-			s.instances = append(s.instances, inst)
+			inst := s.newInst(di)
+			inst.ready = true
+			s.gpusInUse += d.cfg.TPDegree
+			d.active = append(d.active, inst)
 			d.live++
 		}
 		d.liveChanged()
 	}
-	for i := range s.states {
-		s.schedule(s.states[i].Arrival, event{kind: evArrival, req: i})
+	if err := s.pullArrival(); err != nil {
+		return nil, err
 	}
 
 	for s.events.Len() > 0 {
-		ev := heap.Pop(&s.events).(event)
-		s.now = ev.t
+		t, ev := s.events.Pop()
+		s.now = t
 		switch ev.kind {
 		case evArrival:
-			r := s.states[ev.req]
-			s.deps[r.dep].pending = append(s.deps[r.dep].pending, r)
+			r := ev.req
+			d := s.deps[r.dep]
+			if !d.seenArr {
+				d.seenArr = true
+				d.firstArr = r.Arrival
+			}
+			d.pending.PushBack(r)
+			d.outstanding++
+			if r == s.head {
+				if err := s.pullArrival(); err != nil {
+					return nil, err
+				}
+			}
 			s.autoscaleAll()
 			if err := s.dispatchIdle(); err != nil {
 				return nil, err
 			}
 		case evInstanceReady:
-			inst := s.instances[ev.inst]
+			inst := ev.inst
+			if inst.epoch != ev.epoch {
+				break
+			}
 			inst.ready = true
 			s.markIdle(inst)
 			if err := s.dispatchIdle(); err != nil {
 				return nil, err
 			}
 		case evIterationEnd:
-			if err := s.finishIteration(s.instances[ev.inst]); err != nil {
+			if ev.inst.epoch != ev.epoch {
+				break
+			}
+			if err := s.finishIteration(ev.inst); err != nil {
 				return nil, err
 			}
 		case evIdleCheck:
-			inst := s.instances[ev.inst]
+			inst := ev.inst
+			if inst.epoch != ev.epoch {
+				break
+			}
 			d := s.deps[inst.dep]
 			if !inst.retired && inst.ready && !inst.iterating && len(inst.running) == 0 &&
 				s.now-inst.idleSince >= d.cfg.IdleTimeout {
-				inst.retired = true
-				inst.retiredAt = s.now
-				d.live--
-				d.liveChanged()
+				s.retire(inst)
 				// A freed GPU may unblock another deployment's launch.
 				s.autoscaleAll()
 				if err := s.dispatchIdle(); err != nil {
@@ -212,56 +354,61 @@ func (s *simulation) run() (*MultiResult, error) {
 			}
 		}
 	}
-	if s.completed != len(s.states) {
-		return nil, fmt.Errorf("serverless: %d of %d requests completed", s.completed, len(s.states))
+	if err := s.src.Err(); err != nil {
+		return nil, err
+	}
+	if s.completed != s.created {
+		return nil, fmt.Errorf("serverless: %d of %d requests completed", s.completed, s.created)
 	}
 	return s.assemble(), nil
 }
 
+// retire takes an instance out of service, settling its GPU-time
+// account and recycling its state.
+func (s *simulation) retire(inst *instState) {
+	d := s.deps[inst.dep]
+	inst.retired = true
+	inst.retiredAt = s.now
+	d.live--
+	d.liveChanged()
+	s.gpusInUse -= d.cfg.TPDegree
+	if inst.retiredAt > inst.launchedAt {
+		s.gpuSeconds += (inst.retiredAt - inst.launchedAt).Seconds() * float64(d.cfg.TPDegree)
+	}
+	d.removeActive(inst)
+	s.freeInst(inst)
+}
+
 // assemble builds the results, including GPU-time accounting.
 func (s *simulation) assemble() *MultiResult {
-	out := &MultiResult{Makespan: s.lastDone}
+	out := &MultiResult{Makespan: s.lastDone, GPUSeconds: s.gpuSeconds}
 	for _, d := range s.deps {
-		completed := int(d.reg.Counter("completed").Value())
-		coldStarts := int(d.reg.Counter("cold_starts").Value())
+		completed := int(d.cCompleted.Value())
+		coldStarts := int(d.cColdStarts.Value())
 		res := &Result{
-			TTFT:            d.reg.Sample("ttft"),
-			E2E:             d.reg.Sample("e2e"),
+			TTFT:            d.sTTFT,
+			E2E:             d.sE2E,
 			Completed:       completed,
 			Makespan:        d.lastDone - d.firstArr,
 			Throughput:      metrics.Throughput(completed, d.lastDone-d.firstArr),
 			ColdStarts:      coldStarts,
 			Degraded:        int(d.reg.Counter("degraded_cold_starts").Value()),
-			PeakInstances:   int(d.reg.Gauge("live_instances").Max()),
+			PeakInstances:   int(d.gLive.Max()),
 			ColdStartPhases: d.phases,
 			ColdStartTotal:  d.csTotal,
 			Metrics:         d.reg,
 		}
 		out.PerDeployment = append(out.PerDeployment, res)
 		out.TotalColdStarts += coldStarts
-	}
-	for _, inst := range s.instances {
-		end := s.lastDone
-		if inst.retired {
-			end = inst.retiredAt
-		}
-		if end > inst.launchedAt {
-			out.GPUSeconds += (end - inst.launchedAt).Seconds() *
-				float64(s.deps[inst.dep].cfg.TPDegree)
+		// Instances still live at the end are charged to the last
+		// completion, as if decommissioned with the cluster.
+		for _, inst := range d.active {
+			if s.lastDone > inst.launchedAt {
+				out.GPUSeconds += (s.lastDone - inst.launchedAt).Seconds() * float64(d.cfg.TPDegree)
+			}
 		}
 	}
 	return out
-}
-
-// outstanding counts a deployment's unfinished requests.
-func (s *simulation) outstanding(di int) int {
-	n := len(s.deps[di].pending)
-	for _, inst := range s.instances {
-		if inst.dep == di && !inst.retired {
-			n += len(inst.running)
-		}
-	}
-	return n
 }
 
 // autoscaleAll runs the per-deployment autoscaler under the shared GPU
@@ -282,24 +429,26 @@ func (s *simulation) autoscaleAll() {
 // warrants and GPUs are free.
 func (s *simulation) launchOne(di int) bool {
 	d := s.deps[di]
-	out := s.outstanding(di)
-	if out == 0 {
+	if d.outstanding == 0 {
 		return false
 	}
-	desired := 1 + (out-1)/d.cfg.InstanceTarget
+	desired := 1 + (d.outstanding-1)/d.cfg.InstanceTarget
 	if d.live >= desired {
 		return false
 	}
-	if s.gpusUsed()+d.cfg.TPDegree > s.numGPUs {
+	if s.gpusInUse+d.cfg.TPDegree > s.numGPUs {
 		return false
 	}
-	inst := &instState{id: len(s.instances), dep: di, idleSince: s.now, launchedAt: s.now}
-	s.instances = append(s.instances, inst)
-	d.reg.Counter("cold_starts").Inc()
+	inst := s.newInst(di)
+	inst.idleSince = s.now
+	inst.launchedAt = s.now
+	s.gpusInUse += d.cfg.TPDegree
+	d.active = append(d.active, inst)
+	d.cColdStarts.Inc()
 	d.live++
 	d.liveChanged()
 	offset := s.now
-	intervals := make([]obs.Interval, 0, 8)
+	intervals := s.scratchIntervals[:0]
 	if s.warmLeft == 0 {
 		// Warm pool exhausted: this launch also initializes its
 		// execution environment (container, Python, framework).
@@ -330,7 +479,7 @@ func (s *simulation) launchOne(di int) bool {
 			offset += wasted
 		}
 	}
-	intervals = append(intervals, obs.TimelineIntervals(prof.timeline, offset)...)
+	intervals = obs.AppendTimelineIntervals(intervals, prof.timeline, offset)
 	d.phases.AddExclusive(intervals)
 	start := (offset - s.now) + prof.coldStart
 	d.csTotal += start
@@ -347,7 +496,8 @@ func (s *simulation) launchOne(di int) bool {
 		}
 		root.End(s.now + start)
 	}
-	s.schedule(s.now+start, event{kind: evInstanceReady, inst: inst.id})
+	s.scratchIntervals = intervals[:0]
+	s.schedule(s.now+start, event{kind: evInstanceReady, inst: inst, epoch: inst.epoch})
 	return true
 }
 
@@ -406,12 +556,15 @@ func (s *simulation) profOf(inst *instState) *profile {
 }
 
 // dispatchIdle starts iterations on ready instances that are idle and
-// have admissible work.
+// have admissible work, walking each deployment's live instances in
+// launch order.
 func (s *simulation) dispatchIdle() error {
-	for _, inst := range s.instances {
-		if inst.ready && !inst.retired && !inst.iterating {
-			if err := s.startIteration(inst); err != nil {
-				return err
+	for _, d := range s.deps {
+		for _, inst := range d.active {
+			if inst.ready && !inst.iterating {
+				if err := s.startIteration(inst); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -419,21 +572,23 @@ func (s *simulation) dispatchIdle() error {
 }
 
 // admit moves pending requests of the instance's deployment into it up
-// to batch and KV capacity, returning the admitted set.
+// to batch and KV capacity, returning the admitted set (valid until the
+// next admit call).
 func (s *simulation) admit(inst *instState) []*reqState {
 	d := s.deps[inst.dep]
-	var admitted []*reqState
-	for len(d.pending) > 0 && len(inst.running) < d.cfg.MaxBatch {
-		r := d.pending[0]
+	admitted := s.scratchAdmitted[:0]
+	for d.pending.Len() > 0 && len(inst.running) < d.cfg.MaxBatch {
+		r := d.pending.Front()
 		need := r.PromptTokens + r.OutputTokens
 		if inst.kvTokens+need > s.profOf(inst).maxKVTok {
 			break
 		}
-		d.pending = d.pending[1:]
+		d.pending.PopFront()
 		inst.kvTokens += need
 		inst.running = append(inst.running, r)
 		admitted = append(admitted, r)
 	}
+	s.scratchAdmitted = admitted
 	return admitted
 }
 
@@ -474,7 +629,7 @@ func (s *simulation) startIteration(inst *instState) error {
 		}
 	}
 	for _, r := range admitted {
-		p, err := prof.prefill(r.PromptTokens)
+		p, err := prof.prefillDur(r.PromptTokens)
 		if err != nil {
 			return err
 		}
@@ -486,7 +641,7 @@ func (s *simulation) startIteration(inst *instState) error {
 	}
 	dur += step
 	inst.iterating = true
-	d.reg.Counter("iterations").Inc()
+	d.cIterations.Inc()
 	if tr := d.cfg.Tracer; tr != nil {
 		phase := "decode"
 		if len(admitted) > 0 {
@@ -496,7 +651,7 @@ func (s *simulation) startIteration(inst *instState) error {
 			obs.Attr{Key: "batch", Value: fmt.Sprint(len(inst.running))},
 			obs.Attr{Key: "admitted", Value: fmt.Sprint(len(admitted))})
 	}
-	s.schedule(s.now+dur, event{kind: evIterationEnd, inst: inst.id})
+	s.schedule(s.now+dur, event{kind: evIterationEnd, inst: inst, epoch: inst.epoch})
 	return nil
 }
 
@@ -510,12 +665,13 @@ func (s *simulation) finishIteration(inst *instState) error {
 		r.emitted++
 		if !r.ttftSeen {
 			r.ttftSeen = true
-			d.reg.Sample("ttft").Add(s.now - r.Arrival)
+			d.sTTFT.Add(s.now - r.Arrival)
 		}
 		if r.emitted >= r.OutputTokens {
-			d.reg.Sample("e2e").Add(s.now - r.Arrival)
-			d.reg.Counter("completed").Inc()
+			d.sE2E.Add(s.now - r.Arrival)
+			d.cCompleted.Inc()
 			s.completed++
+			d.outstanding--
 			inst.kvTokens -= r.PromptTokens + r.OutputTokens
 			if s.now > d.lastDone {
 				d.lastDone = s.now
@@ -524,6 +680,7 @@ func (s *simulation) finishIteration(inst *instState) error {
 				s.lastDone = s.now
 			}
 			s.maybeFollowUp(r)
+			s.freeReq(r)
 			continue
 		}
 		keep = append(keep, r)
@@ -555,25 +712,26 @@ func (s *simulation) maybeFollowUp(r *reqState) {
 	if newTokens <= 0 {
 		newTokens = workload.ShareGPTMeanPrompt / 4
 	}
-	next := &reqState{
-		Request: workload.Request{
-			ID:           len(s.states),
-			Arrival:      s.now + fu.ThinkTime,
-			PromptTokens: r.PromptTokens + r.OutputTokens + newTokens,
-			OutputTokens: r.OutputTokens,
-		},
-		dep:  r.dep,
-		turn: r.turn + 1,
+	next := s.newReq()
+	next.Request = workload.Request{
+		ID:           s.nextID,
+		Arrival:      s.now + fu.ThinkTime,
+		PromptTokens: r.PromptTokens + r.OutputTokens + newTokens,
+		OutputTokens: r.OutputTokens,
 	}
-	s.states = append(s.states, next)
-	d.reg.Counter("follow_ups").Inc()
-	s.schedule(next.Arrival, event{kind: evArrival, req: next.ID})
+	next.dep = r.dep
+	next.turn = r.turn + 1
+	s.nextID++
+	s.created++
+	d.cFollowUps.Inc()
+	s.schedule(next.Arrival, event{kind: evArrival, req: next})
 }
 
 // markIdle stamps the instance idle and arms the retirement timer.
 func (s *simulation) markIdle(inst *instState) {
 	inst.idleSince = s.now
 	if s.deps[inst.dep].cfg.IdleTimeout > 0 {
-		s.schedule(s.now+s.deps[inst.dep].cfg.IdleTimeout, event{kind: evIdleCheck, inst: inst.id})
+		s.schedule(s.now+s.deps[inst.dep].cfg.IdleTimeout,
+			event{kind: evIdleCheck, inst: inst, epoch: inst.epoch})
 	}
 }

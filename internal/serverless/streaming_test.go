@@ -1,0 +1,127 @@
+package serverless
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/workload"
+)
+
+// multiSummary flattens the observable outcome of a multi-deployment
+// run into one comparable string: every latency summary, counter and
+// aggregate the exporters read.
+func multiSummary(res *MultiResult) string {
+	out := fmt.Sprintf("cold=%d gpu=%.9f makespan=%v\n", res.TotalColdStarts, res.GPUSeconds, res.Makespan)
+	for _, d := range res.PerDeployment {
+		out += fmt.Sprintf("completed=%d cold=%d peak=%d throughput=%.9f\n",
+			d.Completed, d.ColdStarts, d.PeakInstances, d.Throughput)
+		ttft, _ := d.TTFT.Summary()
+		e2e, _ := d.E2E.Summary()
+		out += fmt.Sprintf("ttft: %+v\ne2e:  %+v\n", ttft, e2e)
+		out += d.Metrics.Render()
+	}
+	return out
+}
+
+// streamingFixture builds a two-deployment shared pool with distinct
+// arrival traces. The traces are small enough that the bounded
+// reservoir retains every observation, so streaming and retained
+// aggregation must agree exactly, not just statistically.
+func streamingFixture(t testing.TB) (MultiConfig, [][]workload.Request) {
+	t.Helper()
+	_, base := simFixture(t, "Qwen1.5-0.5B")
+	base.Strategy = engine.StrategyMedusa
+	base.IdleTimeout = 300 * time.Millisecond
+	a := base
+	a.Seed = 1
+	b := base
+	b.Seed = 2
+	traceA := shortTrace(t, 4, 15)
+	traceB, err := workload.Generate(workload.TraceConfig{
+		Seed: 77, RPS: 2, Duration: 15 * time.Second, MeanOutput: 64, MaxOutput: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return MultiConfig{
+		NumGPUs: 8,
+		Deployments: []Deployment{
+			{Name: "a", Config: a, Requests: traceA},
+			{Name: "b", Config: b, Requests: traceB},
+		},
+	}, [][]workload.Request{traceA, traceB}
+}
+
+// TestStreamingMatchesRetainedAggregation pins the tentpole's
+// correctness contract: the pull-based arrival path with bounded
+// reservoir aggregation produces exactly the summaries the slice-based
+// retained path computes, on traces under the reservoir cap.
+func TestStreamingMatchesRetainedAggregation(t *testing.T) {
+	retainedCfg, traces := streamingFixture(t)
+	for i := range retainedCfg.Deployments {
+		retainedCfg.Deployments[i].Config.RetainPerRequest = true
+	}
+	retained, err := RunMulti(retainedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	streamCfg, _ := streamingFixture(t)
+	for i := range streamCfg.Deployments {
+		streamCfg.Deployments[i].Requests = nil
+		streamCfg.Deployments[i].Source = workload.NewSlice(traces[i])
+	}
+	streamed, err := RunMulti(streamCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, got := multiSummary(retained), multiSummary(streamed)
+	if want != got {
+		t.Fatalf("streaming aggregation diverged from retained:\n--- retained\n%s\n--- streamed\n%s", want, got)
+	}
+
+	// The pre-merged Arrivals form must agree too.
+	mergedCfg, _ := streamingFixture(t)
+	perDep := make([]workload.Source, len(traces))
+	for i := range mergedCfg.Deployments {
+		mergedCfg.Deployments[i].Requests = nil
+		perDep[i] = workload.NewSlice(traces[i])
+	}
+	mergedCfg.Arrivals = MergeArrivals(perDep)
+	merged, err := RunMulti(mergedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := multiSummary(merged); got != want {
+		t.Fatalf("pre-merged Arrivals diverged from retained:\n--- retained\n%s\n--- merged\n%s", want, got)
+	}
+}
+
+// TestStreamingDeterministicAcrossGOMAXPROCS pins byte-identical
+// streaming-mode output at a fixed seed regardless of scheduler
+// parallelism.
+func TestStreamingDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	run := func() string {
+		cfg, traces := streamingFixture(t)
+		for i := range cfg.Deployments {
+			cfg.Deployments[i].Requests = nil
+			cfg.Deployments[i].Source = workload.NewSlice(traces[i])
+		}
+		res, err := RunMulti(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return multiSummary(res)
+	}
+	first := run()
+	prev := runtime.GOMAXPROCS(1)
+	second := run()
+	runtime.GOMAXPROCS(prev)
+	if first != second {
+		t.Fatalf("streaming output differs under GOMAXPROCS=1:\n--- default\n%s\n--- gomaxprocs=1\n%s", first, second)
+	}
+}

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Source is a pull-based request stream, the form the simulators
+// consume traces in at scale: a 10M-request run draws arrivals one at a
+// time instead of materializing the whole trace up front, so trace
+// memory is O(1) in trace length. Sources emit requests in
+// nondecreasing arrival order with IDs assigned in emission order.
+type Source interface {
+	// Next returns the next request and true, or a zero Request and
+	// false once the stream is exhausted (or failed — check Err).
+	Next() (Request, bool)
+	// Err reports the error that terminated the stream early, if any.
+	// It is meaningful once Next has returned false.
+	Err() error
+}
+
+// Collect drains a source into a slice — the bridge from the streaming
+// world back to the slice-based API for small traces and tests.
+func Collect(src Source) ([]Request, error) {
+	var out []Request
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	if err := src.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// poissonSource draws the same (gap, prompt, output) sequence Generate
+// always has, one request per pull.
+type poissonSource struct {
+	cfg  TraceConfig
+	rng  *rand.Rand
+	t    time.Duration
+	id   int
+	done bool
+}
+
+// NewPoisson returns a streaming Poisson source. Draining it yields
+// exactly the trace Generate returns for the same config: both run the
+// same RNG draw sequence, so slice-based and streaming consumers see
+// byte-identical workloads at a fixed seed.
+func NewPoisson(cfg TraceConfig) (Source, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &poissonSource{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+func (p *poissonSource) Next() (Request, bool) {
+	if p.done {
+		return Request{}, false
+	}
+	gap := time.Duration(p.rng.ExpFloat64() / p.cfg.RPS * float64(time.Second))
+	p.t += gap
+	if p.t >= p.cfg.Duration {
+		p.done = true
+		return Request{}, false
+	}
+	r := Request{
+		ID:           p.id,
+		Arrival:      p.t,
+		PromptTokens: sampleLen(p.rng, p.cfg.MeanPrompt, p.cfg.MaxPrompt),
+		OutputTokens: sampleLen(p.rng, p.cfg.MeanOutput, p.cfg.MaxOutput),
+	}
+	p.id++
+	return r, true
+}
+
+func (p *poissonSource) Err() error { return nil }
+
+// SliceSource adapts an in-memory trace to the Source interface.
+type SliceSource struct {
+	reqs []Request
+	i    int
+}
+
+// NewSlice wraps an already-materialized trace. Requests are emitted
+// as-is (IDs included), in slice order.
+func NewSlice(reqs []Request) *SliceSource { return &SliceSource{reqs: reqs} }
+
+func (s *SliceSource) Next() (Request, bool) {
+	if s.i >= len(s.reqs) {
+		return Request{}, false
+	}
+	r := s.reqs[s.i]
+	s.i++
+	return r, true
+}
+
+func (s *SliceSource) Err() error { return nil }
+
+// burstySource merges a base-rate stream with a burst-window-filtered
+// extra stream, renumbering in merged order. Ties go to the base
+// stream; arrival instants carry fractional nanoseconds from
+// independent exponential draws, so cross-stream ties do not occur in
+// practice and the merged order matches what sorting the concatenated
+// traces produces.
+type burstySource struct {
+	cfg        BurstConfig
+	base, ext  Source
+	baseReq    Request
+	extReq     Request
+	baseOK     bool
+	extOK      bool
+	id         int
+}
+
+// NewBursty returns a streaming bursty source: a base Poisson rate with
+// periodic bursts, modelling the 10–20× fluctuations within 30-second
+// windows the paper cites from production LLM serving. Draining it
+// yields exactly what GenerateBursty returns for the same config.
+func NewBursty(cfg BurstConfig) (Source, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	base, err := NewPoisson(TraceConfig{
+		Seed: cfg.Seed, RPS: cfg.BaseRPS, Duration: cfg.Duration,
+		MeanPrompt: cfg.MeanPrompt, MeanOutput: cfg.MeanOutput,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ext, err := NewPoisson(TraceConfig{
+		Seed: cfg.Seed + 1, RPS: cfg.BurstRPS - cfg.BaseRPS, Duration: cfg.Duration,
+		MeanPrompt: cfg.MeanPrompt, MeanOutput: cfg.MeanOutput,
+	})
+	if err != nil {
+		return nil, err
+	}
+	b := &burstySource{cfg: cfg, base: base, ext: ext}
+	b.baseReq, b.baseOK = b.base.Next()
+	b.advanceExt()
+	return b, nil
+}
+
+// advanceExt pulls the extra stream forward to its next request inside
+// a burst window.
+func (b *burstySource) advanceExt() {
+	for {
+		r, ok := b.ext.Next()
+		if !ok {
+			b.extOK = false
+			return
+		}
+		if r.Arrival%b.cfg.Period < b.cfg.BurstLen {
+			b.extReq, b.extOK = r, true
+			return
+		}
+	}
+}
+
+func (b *burstySource) Next() (Request, bool) {
+	var r Request
+	switch {
+	case b.baseOK && (!b.extOK || b.baseReq.Arrival <= b.extReq.Arrival):
+		r = b.baseReq
+		b.baseReq, b.baseOK = b.base.Next()
+	case b.extOK:
+		r = b.extReq
+		b.advanceExt()
+	default:
+		return Request{}, false
+	}
+	r.ID = b.id
+	b.id++
+	return r, true
+}
+
+func (b *burstySource) Err() error { return nil }

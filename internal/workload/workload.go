@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"time"
 )
 
@@ -84,29 +83,15 @@ func sampleLen(rng *rand.Rand, mean, max int) int {
 	return v
 }
 
-// Generate produces a Poisson trace.
+// Generate produces a Poisson trace by draining NewPoisson — the
+// slice-based convenience form for workloads small enough to hold in
+// memory.
 func Generate(cfg TraceConfig) ([]Request, error) {
-	cfg, err := cfg.withDefaults()
+	src, err := NewPoisson(cfg)
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	var out []Request
-	t := time.Duration(0)
-	for {
-		gap := time.Duration(rng.ExpFloat64() / cfg.RPS * float64(time.Second))
-		t += gap
-		if t >= cfg.Duration {
-			break
-		}
-		out = append(out, Request{
-			ID:           len(out),
-			Arrival:      t,
-			PromptTokens: sampleLen(rng, cfg.MeanPrompt, cfg.MaxPrompt),
-			OutputTokens: sampleLen(rng, cfg.MeanOutput, cfg.MaxOutput),
-		})
-	}
-	return out, nil
+	return Collect(src)
 }
 
 // BurstConfig shapes a bursty trace: a base rate with periodic bursts,
@@ -123,40 +108,22 @@ type BurstConfig struct {
 	MeanOutput int
 }
 
+func (c BurstConfig) validate() error {
+	if c.Period <= 0 || c.BurstLen <= 0 || c.BurstLen >= c.Period {
+		return fmt.Errorf("workload: burst length %v must be within period %v", c.BurstLen, c.Period)
+	}
+	if c.BurstRPS < c.BaseRPS {
+		return fmt.Errorf("workload: burst RPS %v below base %v", c.BurstRPS, c.BaseRPS)
+	}
+	return nil
+}
+
 // GenerateBursty produces a trace alternating between base and burst
-// rates.
+// rates by draining NewBursty.
 func GenerateBursty(cfg BurstConfig) ([]Request, error) {
-	if cfg.Period <= 0 || cfg.BurstLen <= 0 || cfg.BurstLen >= cfg.Period {
-		return nil, fmt.Errorf("workload: burst length %v must be within period %v", cfg.BurstLen, cfg.Period)
-	}
-	base, err := Generate(TraceConfig{
-		Seed: cfg.Seed, RPS: cfg.BaseRPS, Duration: cfg.Duration,
-		MeanPrompt: cfg.MeanPrompt, MeanOutput: cfg.MeanOutput,
-	})
+	src, err := NewBursty(cfg)
 	if err != nil {
 		return nil, err
 	}
-	extraRate := cfg.BurstRPS - cfg.BaseRPS
-	if extraRate < 0 {
-		return nil, fmt.Errorf("workload: burst RPS %v below base %v", cfg.BurstRPS, cfg.BaseRPS)
-	}
-	burst, err := Generate(TraceConfig{
-		Seed: cfg.Seed + 1, RPS: extraRate, Duration: cfg.Duration,
-		MeanPrompt: cfg.MeanPrompt, MeanOutput: cfg.MeanOutput,
-	})
-	if err != nil {
-		return nil, err
-	}
-	var out []Request
-	out = append(out, base...)
-	for _, r := range burst {
-		if r.Arrival%cfg.Period < cfg.BurstLen {
-			out = append(out, r)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
-	for i := range out {
-		out[i].ID = i
-	}
-	return out, nil
+	return Collect(src)
 }
