@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint docs test test-race short bench bench-smoke faults-smoke figures examples fuzz cover trace-demo clean
+.PHONY: all check build vet lint docs test test-race short bench bench-smoke batch-smoke faults-smoke figures examples fuzz cover trace-demo clean
 
 all: build test
 
 # One-stop verification: compile, vet, lint the determinism invariants,
-# full tests, then race-detect everything.
-check: build vet lint test test-race
+# full tests, race-detect everything, then the batched-execution smoke.
+check: build vet lint test test-race batch-smoke
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,7 @@ lint:
 # packages whose APIs FAILURES.md and DESIGN.md document.
 docs:
 	$(GO) run ./cmd/medusa-doccheck ./internal/faults ./internal/artifactcache \
-		./internal/cluster ./internal/serverless
+		./internal/cluster ./internal/serverless ./internal/sched ./internal/cliconfig
 
 test:
 	$(GO) test ./...
@@ -56,6 +56,13 @@ bench-smoke:
 	$(GO) run ./cmd/medusa-simulate -nodes 2 -models "Qwen1.5-0.5B,Llama2-7B" \
 		-cache-policy costaware -cache-ram 3 -cache-ssd 6 -idle 200ms -rps 3 -duration 10
 	MEDUSA_SCALE_SMOKE=1 $(GO) test -run TestScaleSmoke1M -count=1 -v ./internal/cluster/
+
+# Seconds-scale continuous-batching gate: a seeded 100k-request fleet
+# run in batched execution mode under a wall-clock budget and an
+# allocs/request ceiling checked in at
+# internal/cluster/testdata/max_allocs_per_request_batched.
+batch-smoke:
+	MEDUSA_BATCH_SMOKE=1 $(GO) test -run TestBatchSmoke100k -count=1 -v ./internal/cluster/
 
 # Seconds-scale fault-injection gate: the seeded probability sweep
 # (every run must survive every injected fault — FAILURES.md) plus a

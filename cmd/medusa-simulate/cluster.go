@@ -1,13 +1,10 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
-	"strings"
-	"time"
 
-	"github.com/medusa-repro/medusa/internal/artifactcache"
+	"github.com/medusa-repro/medusa/internal/cliconfig"
 	"github.com/medusa-repro/medusa/internal/cluster"
 	"github.com/medusa-repro/medusa/internal/engine"
 	"github.com/medusa-repro/medusa/internal/faults"
@@ -19,62 +16,24 @@ import (
 	"github.com/medusa-repro/medusa/internal/workload"
 )
 
-// clusterFlags groups the multi-node options; -nodes > 0 switches the
-// command from the single-pool simulator to the fleet simulator with
-// tiered artifact caches and locality-aware placement.
-type clusterFlags struct {
-	nodes      *int
-	gpusPer    *int
-	policy     *string
-	ramMiB     *int
-	ssdMiB     *int
-	locality   *float64
-	prewarmSSD *bool
-	models     *string
-	zipf       *float64
-	idle       *time.Duration
-	stream     *bool
-	retain     *bool
-}
-
-func registerClusterFlags() *clusterFlags {
-	return &clusterFlags{
-		nodes:      flag.Int("nodes", 0, "fleet size; > 0 runs the multi-node simulator with tiered artifact caches"),
-		gpusPer:    flag.Int("gpus-per-node", 4, "GPUs per node (cluster mode)"),
-		policy:     flag.String("cache-policy", "lru", "artifact cache eviction policy: lru | lfu | costaware"),
-		ramMiB:     flag.Int("cache-ram", 4096, "per-node RAM cache tier size in MiB"),
-		ssdMiB:     flag.Int("cache-ssd", 16384, "per-node SSD cache tier size in MiB"),
-		locality:   flag.Float64("locality", cluster.DefaultLocalityWeight, "placement weight for artifact locality vs load balance (0 = pure load balancing)"),
-		prewarmSSD: flag.Bool("prewarm-ssd", false, "pre-pull every artifact onto every node's SSD tier before the trace"),
-		models:     flag.String("models", "", "comma-separated model list for a multi-model fleet (cluster mode; default: -model)"),
-		zipf:       flag.Float64("zipf", 1.2, "Zipf popularity skew across -models (must be > 1)"),
-		idle:       flag.Duration("idle", 0, "instance idle timeout (cluster mode; 0 disables)"),
-		stream:     flag.Bool("stream", false, "stream arrivals instead of materializing the trace — memory stays O(active requests), enabling 10M+ request runs (cluster mode)"),
-		retain:     flag.Bool("retain", false, "retain every per-request latency observation for exact quantiles (O(requests) memory; default uses a bounded deterministic reservoir)"),
-	}
-}
-
 // runCluster executes the fleet simulation and prints its Render (or,
-// with -reps > 1, per-replication stats plus mean ± 95% CI).
-func runCluster(cf *clusterFlags, strategyName string, baseTC workload.TraceConfig, tracePath string, plan *faults.Plan, reps int, parallel bool) error {
+// with -reps > 1, per-replication stats plus mean ± 95% CI). All
+// shared knobs arrive pre-parsed in v (see internal/cliconfig).
+func runCluster(v *cliconfig.Values, baseTC workload.TraceConfig, tracePath string, plan *faults.Plan, reps int, parallel bool) error {
 	seed := baseTC.Seed
-	policy, err := artifactcache.ParsePolicy(*cf.policy)
+	params, err := v.CacheParams()
 	if err != nil {
 		return err
 	}
-	strategy, err := engine.ParseStrategy(strategyName)
+	strategy, err := engine.ParseStrategy(v.Strategy)
 	if err != nil {
 		return err
 	}
-	names := strings.Split(*cf.models, ",")
-	if *cf.models == "" {
-		names = []string{flag.Lookup("model").Value.String()}
-	}
+	names := v.ModelNames()
 
 	store := storage.NewStore(storage.DefaultArray())
 	deps := make([]serverless.Deployment, 0, len(names))
-	for i, raw := range names {
-		name := strings.TrimSpace(raw)
+	for i, name := range names {
 		cfg, err := model.ByName(name)
 		if err != nil {
 			return err
@@ -82,7 +41,7 @@ func runCluster(cf *clusterFlags, strategyName string, baseTC workload.TraceConf
 		sc := serverless.Config{
 			Model: cfg, Strategy: strategy, Store: store,
 			Seed:      int64(i + 1),
-			Autoscale: serverless.Autoscale{IdleTimeout: *cf.idle},
+			Scheduler: serverless.Scheduler{IdleTimeout: v.Idle, Batch: v.BatchParams()},
 		}
 		if strategy.NeedsArtifact() {
 			fmt.Printf("running offline phase for %s...\n", name)
@@ -90,16 +49,10 @@ func runCluster(cf *clusterFlags, strategyName string, baseTC workload.TraceConf
 			if err != nil {
 				return err
 			}
-			sc.Artifact = art
-			sc.ArtifactBytes = report.ArtifactBytes
+			sc.Cache = serverless.CacheSpec{Artifact: art, ArtifactBytes: report.ArtifactBytes}
 		}
 		deps = append(deps, serverless.Deployment{Name: name, Config: sc})
 	}
-
-	params := artifactcache.DefaultParams()
-	params.RAMBytes = uint64(*cf.ramMiB) << 20
-	params.SSDBytes = uint64(*cf.ssdMiB) << 20
-	params.Policy = policy
 
 	// mkCfg assembles one replication's fleet config: seeds derive from
 	// the replication index, deployments are cloned (Run treats them
@@ -109,23 +62,23 @@ func runCluster(cf *clusterFlags, strategyName string, baseTC workload.TraceConf
 		tc.Seed = seed + rep
 		rdeps := append([]serverless.Deployment(nil), deps...)
 		ccfg := cluster.Config{
-			Nodes:            *cf.nodes,
-			GPUsPerNode:      *cf.gpusPer,
+			Nodes:            v.Nodes,
+			GPUsPerNode:      v.GPUsPerNode,
 			Cache:            params,
-			LocalityWeight:   *cf.locality,
-			PrewarmSSD:       *cf.prewarmSSD,
+			LocalityWeight:   v.Locality,
+			PrewarmSSD:       v.PrewarmSSD,
 			Seed:             seed + rep,
 			Deployments:      rdeps,
-			Faults:           plan,
-			RetainPerRequest: *cf.retain,
+			Faults:           serverless.FaultSpec{Plan: plan},
+			RetainPerRequest: v.Retain,
 		}
-		if *cf.stream {
+		if v.Stream {
 			src, err := workload.NewPoisson(tc)
 			if err != nil {
 				return ccfg, err
 			}
 			if len(rdeps) > 1 {
-				ccfg.Arrivals, err = cluster.ZipfArrivals(src, len(rdeps), seed+1+rep, *cf.zipf)
+				ccfg.Arrivals, err = cluster.ZipfArrivals(src, len(rdeps), seed+1+rep, v.Zipf)
 				if err != nil {
 					return ccfg, err
 				}
@@ -139,7 +92,7 @@ func runCluster(cf *clusterFlags, strategyName string, baseTC workload.TraceConf
 			return ccfg, err
 		}
 		if len(rdeps) > 1 {
-			ccfg.Deployments, err = cluster.ZipfDeployments(rdeps, trace, seed+1+rep, *cf.zipf)
+			ccfg.Deployments, err = cluster.ZipfDeployments(rdeps, trace, seed+1+rep, v.Zipf)
 			if err != nil {
 				return ccfg, err
 			}

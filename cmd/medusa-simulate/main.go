@@ -6,12 +6,21 @@
 // a per-strategy cold-start phase breakdown whose per-phase sums equal
 // the end-to-end cold-start durations exactly.
 //
+// With -batch-tokens N (N > 0) instances serve with iteration-level
+// continuous batching on a paged KV cache (-kv-blocks,
+// -chunked-prefill): per-token completion events make TTFT and TPOT
+// first-class, and KV exhaustion preempts the lowest-id sequence for
+// recompute-on-resume.
+//
 // With -nodes N (N > 0) the command switches to the multi-node fleet
 // simulator: each node fronts the shared artifact registry with a
 // tiered cache (-cache-ram/-cache-ssd MiB, -cache-policy
 // lru|lfu|costaware) and cold-starting instances are placed by a
 // locality-aware scorer (-locality). -models co-locates several
 // deployments sharing the fleet under Zipf popularity (-zipf).
+//
+// The shared flag surface (workload, serving, batching and cluster
+// knobs) is declared once in internal/cliconfig.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/medusa-repro/medusa/internal/cliconfig"
 	"github.com/medusa-repro/medusa/internal/engine"
 	"github.com/medusa-repro/medusa/internal/faults"
 	"github.com/medusa-repro/medusa/internal/medusa"
@@ -32,17 +42,7 @@ import (
 )
 
 func main() {
-	modelName := flag.String("model", "Qwen1.5-4B", "model name")
-	strategyName := flag.String("strategy", "medusa", "vllm | async | nograph | medusa | checkpoint | deferred")
-	rps := flag.Float64("rps", 10, "mean request rate (Poisson)")
-	durSec := flag.Int("duration", 60, "trace duration in seconds")
-	meanOutput := flag.Int("mean-output", 0, "mean output tokens per request (0 = ShareGPT default)")
-	maxOutput := flag.Int("max-output", 0, "output token clamp (0 = default)")
-	gpus := flag.Int("gpus", 4, "GPU count")
-	prewarm := flag.Int("prewarm", 0, "instances pre-warmed at time zero")
-	seed := flag.Int64("seed", 90125, "trace seed")
-	followup := flag.Float64("followup", 0, "probability of a conversational follow-up turn (0 disables)")
-	think := flag.Duration("think", 8*time.Second, "user think time before a follow-up")
+	v := cliconfig.Register(flag.CommandLine)
 	slo := flag.Duration("slo", time.Second, "TTFT SLO threshold to report attainment against")
 	tracePath := flag.String("trace", "", "write the run's spans as Chrome trace-event JSON to this file")
 	phases := flag.Bool("phases", false, "print per-strategy cold-start phase breakdowns (runs every paper strategy)")
@@ -53,7 +53,6 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run replications on a worker pool (one per core); output is identical either way")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
-	cf := registerClusterFlags()
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
@@ -75,10 +74,7 @@ func main() {
 	if *reps < 1 {
 		fail(fmt.Errorf("-reps must be ≥ 1, got %d", *reps))
 	}
-	baseTC := workload.TraceConfig{
-		Seed: *seed, RPS: *rps, Duration: time.Duration(*durSec) * time.Second,
-		MeanOutput: *meanOutput, MaxOutput: *maxOutput,
-	}
+	baseTC := v.TraceConfig()
 	var plan *faults.Plan
 	if *faultsSpec != "" {
 		p, err := faults.LoadPlan(*faultsSpec)
@@ -87,17 +83,17 @@ func main() {
 		}
 		plan = &p
 	}
-	if *cf.nodes > 0 {
-		if err := runCluster(cf, *strategyName, baseTC, *tracePath, plan, *reps, *parallel); err != nil {
+	if v.Nodes > 0 {
+		if err := runCluster(v, baseTC, *tracePath, plan, *reps, *parallel); err != nil {
 			fail(err)
 		}
 		return
 	}
-	cfg, err := model.ByName(*modelName)
+	cfg, err := model.ByName(v.Model)
 	if err != nil {
 		fail(err)
 	}
-	strategy, err := engine.ParseStrategy(*strategyName)
+	strategy, err := engine.ParseStrategy(v.Strategy)
 	if err != nil {
 		fail(err)
 	}
@@ -123,22 +119,17 @@ func main() {
 	buildConfig := func(s engine.Strategy) (serverless.Config, error) {
 		sc := serverless.Config{
 			Model: cfg, Strategy: s, Store: store,
-			NumGPUs: *gpus, Seed: 1,
-			Autoscale: serverless.Autoscale{Prewarm: *prewarm},
-			Faults:    plan,
-		}
-		if *followup > 0 {
-			sc.FollowUp = &serverless.FollowUpModel{
-				Probability: *followup, ThinkTime: *think, MaxTurns: 6,
-			}
+			NumGPUs: v.GPUs, Seed: 1,
+			Scheduler: v.SchedulerConfig(),
+			Workload:  v.WorkloadConfig(),
+			Faults:    serverless.FaultSpec{Plan: plan},
 		}
 		if s.NeedsArtifact() {
 			art, size, err := artOnce()
 			if err != nil {
 				return sc, err
 			}
-			sc.Artifact = art
-			sc.ArtifactBytes = size
+			sc.Cache = serverless.CacheSpec{Artifact: art, ArtifactBytes: size}
 		}
 		return sc, nil
 	}
@@ -155,7 +146,7 @@ func main() {
 			}
 		}
 		fmt.Printf("model=%s strategy=%s rps=%.1f duration=%ds reps=%d parallel=%v\n",
-			cfg.Name, strategy, *rps, *durSec, *reps, *parallel)
+			cfg.Name, strategy, v.RPS, v.DurationSec, *reps, *parallel)
 		if err := runServerlessReps(
 			func() (serverless.Config, error) { return buildConfig(strategy) },
 			baseTC, *reps, *parallel); err != nil {
@@ -210,7 +201,7 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("model=%s strategy=%s rps=%.1f duration=%ds requests=%d\n",
-		cfg.Name, strategy, *rps, *durSec, len(reqs))
+		cfg.Name, strategy, v.RPS, v.DurationSec, len(reqs))
 	fmt.Printf("  completed:      %d\n", res.Completed)
 	fmt.Printf("  cold starts:    %d (peak instances %d)\n", res.ColdStarts, res.PeakInstances)
 	if plan != nil && !plan.Zero() {
@@ -219,6 +210,11 @@ func main() {
 	fmt.Printf("  throughput:     %.2f req/s\n", res.Throughput)
 	fmt.Printf("  TTFT p50/p99:   %.3fs / %.3fs\n", res.TTFT.P50().Seconds(), res.TTFT.P99().Seconds())
 	fmt.Printf("  E2E  p50/p99:   %.3fs / %.3fs\n", res.E2E.P50().Seconds(), res.E2E.P99().Seconds())
+	if res.TPOT != nil {
+		fmt.Printf("  TPOT p50/p99:   %.1fms / %.1fms (%d preemptions)\n",
+			float64(res.TPOT.P50().Microseconds())/1000, float64(res.TPOT.P99().Microseconds())/1000,
+			res.Preemptions)
+	}
 	fmt.Printf("  TTFT ≤ %v:      %.1f%% of requests\n", *slo, res.TTFT.FractionBelow(*slo)*100)
 	fmt.Println("\nTTFT distribution (100ms buckets):")
 	fmt.Print(res.TTFT.Histogram(100*time.Millisecond, 50))

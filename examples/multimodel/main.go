@@ -34,7 +34,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		medusaArtifacts[name] = serverless.Config{Artifact: art, ArtifactBytes: report.ArtifactBytes}
+		medusaArtifacts[name] = serverless.Config{Cache: serverless.CacheSpec{Artifact: art, ArtifactBytes: report.ArtifactBytes}}
 		fmt.Printf("offline %s: %d nodes materialized into %.2f MB\n",
 			name, report.TotalNodes, float64(report.ArtifactBytes)/(1<<20))
 	}
@@ -52,12 +52,11 @@ func main() {
 			}
 			dcfg := serverless.Config{
 				Model: cfg, Strategy: strategy, Store: store,
-				Autoscale: serverless.Autoscale{Prewarm: prewarm, IdleTimeout: idle},
+				Scheduler: serverless.Scheduler{Prewarm: prewarm, IdleTimeout: idle},
 				Seed:      int64(mi + 1),
 			}
 			if strategy.NeedsArtifact() {
-				dcfg.Artifact = medusaArtifacts[name].Artifact
-				dcfg.ArtifactBytes = medusaArtifacts[name].ArtifactBytes
+				dcfg.Cache = medusaArtifacts[name].Cache
 			}
 			mc.Deployments = append(mc.Deployments, serverless.Deployment{
 				Name: name, Config: dcfg, Requests: reqs,

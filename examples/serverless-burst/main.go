@@ -57,24 +57,23 @@ func main() {
 			Strategy: s,
 			Store:    store,
 			NumGPUs:  4,
-			Autoscale: serverless.Autoscale{
+			Scheduler: serverless.Scheduler{
 				Prewarm:        1,
 				InstanceTarget: 48, // aggressive scale-out so bursts spawn instances
 				IdleTimeout:    15 * time.Second,
 			},
 			// ShareGPT is conversational: a third of answers draw a
 			// follow-up question over the accumulated context.
-			FollowUp: &serverless.FollowUpModel{
+			Workload: serverless.Workload{FollowUp: &serverless.FollowUpModel{
 				Probability: 0.33,
 				ThinkTime:   8 * time.Second,
 				MaxTurns:    4,
 				NewTokens:   40,
-			},
+			}},
 			Seed: 5,
 		}
 		if s.NeedsArtifact() {
-			sc.Artifact = artifact
-			sc.ArtifactBytes = report.ArtifactBytes
+			sc.Cache = serverless.CacheSpec{Artifact: artifact, ArtifactBytes: report.ArtifactBytes}
 		}
 		res, err := serverless.Run(sc, reqs)
 		if err != nil {

@@ -23,6 +23,7 @@ import (
 	"github.com/medusa-repro/medusa/internal/artifactcache"
 	"github.com/medusa-repro/medusa/internal/engine"
 	"github.com/medusa-repro/medusa/internal/faults"
+	"github.com/medusa-repro/medusa/internal/kvcache"
 	"github.com/medusa-repro/medusa/internal/metrics"
 	"github.com/medusa-repro/medusa/internal/obs"
 	"github.com/medusa-repro/medusa/internal/serverless"
@@ -80,14 +81,15 @@ type Config struct {
 	// default: samples keep exact count/mean/max plus a deterministic
 	// bounded reservoir for quantiles.
 	RetainPerRequest bool
-	// Faults, when set to a nonzero plan, injects deterministic faults
+	// Faults, when holding a nonzero plan, injects deterministic faults
 	// (artifact corruption, registry fetch timeouts, SSD read errors,
 	// restore-validation mismatches, node crashes) into the run. Every
 	// injected fault is survivable: launches degrade to the vanilla
-	// cold-start stages and crashed nodes' work is re-placed. Nil or a
+	// cold-start stages and crashed nodes' work is re-placed. A nil or
 	// zero plan leaves the simulation bit-identical to a fault-free
-	// build. See FAILURES.md for the full catalog.
-	Faults *faults.Plan
+	// build. The sub-config and its Validate are shared with the
+	// single-pool simulator. See FAILURES.md for the full catalog.
+	Faults serverless.FaultSpec
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -115,12 +117,12 @@ func (c Config) withDefaults() (Config, error) {
 	if len(c.Deployments) == 0 {
 		return c, fmt.Errorf("cluster: no deployments")
 	}
-	if c.Faults != nil {
+	if c.Faults.Plan != nil {
 		if err := c.Faults.Validate(); err != nil {
 			return c, err
 		}
 		crashed := make(map[int]bool)
-		for _, nc := range c.Faults.NodeCrashes {
+		for _, nc := range c.Faults.Plan.NodeCrashes {
 			if nc.Node >= c.Nodes {
 				return c, fmt.Errorf("cluster: fault plan crashes node %d of a %d-node fleet", nc.Node, c.Nodes)
 			}
@@ -149,6 +151,13 @@ type DeploymentResult struct {
 	TTFT *metrics.Sample
 	// E2E is end-to-end request latency.
 	E2E *metrics.Sample
+	// TPOT is time-per-output-token — per completed request, the mean
+	// inter-token gap. Recorded only in batched execution mode
+	// (Scheduler.Batch enabled); nil otherwise.
+	TPOT *metrics.Sample
+	// Preemptions counts scheduler evictions under KV pressure
+	// (batched execution mode only).
+	Preemptions int
 	// ColdStart samples each launch's end-to-end provisioning latency
 	// (runtime init + artifact fetch + loading, overlap-aware).
 	ColdStart *metrics.Sample
@@ -220,8 +229,8 @@ func Run(cfg Config) (*Result, error) {
 	registry := artifactcache.NewRegistry(cfg.Network)
 	clusterReg := obs.NewRegistry()
 	sim := &simulation{cfg: cfg, reg: clusterReg}
-	if cfg.Faults != nil {
-		inj, err := faults.NewInjector(*cfg.Faults)
+	if cfg.Faults.Plan != nil {
+		inj, err := faults.NewInjector(*cfg.Faults.Plan)
 		if err != nil {
 			return nil, err
 		}
@@ -259,7 +268,7 @@ func Run(cfg Config) (*Result, error) {
 		// restore stage. Tensor-parallel instances materialize per-rank
 		// artifacts inside the engine and bypass the cache.
 		fetches := dcfg.Strategy.NeedsArtifact() && dcfg.TPDegree <= 1
-		dcfg.ArtifactPreloaded = fetches
+		dcfg.Cache.ArtifactPreloaded = fetches
 		prof, err := serverless.NewProfile(dcfg)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: profiling %s: %w", dep.Name, err)
@@ -268,9 +277,9 @@ func Run(cfg Config) (*Result, error) {
 		key := ""
 		if fetches {
 			key = artifactCacheKey(dcfg.Model.Name, dcfg.Strategy)
-			size := dcfg.ArtifactBytes
+			size := dcfg.Cache.ArtifactBytes
 			if size == 0 {
-				enc, err := dcfg.Artifact.Encode()
+				enc, err := dcfg.Cache.Artifact.Encode()
 				if err != nil {
 					return nil, fmt.Errorf("cluster: encoding %s artifact: %w", dep.Name, err)
 				}
@@ -290,13 +299,18 @@ func Run(cfg Config) (*Result, error) {
 		if sim.inj != nil && dcfg.Strategy.NeedsArtifact() {
 			fcfg := dcfg
 			fcfg.Strategy = engine.StrategyVLLM
-			fcfg.Artifact = nil
-			fcfg.ArtifactBytes = 0
-			fcfg.ArtifactPreloaded = false
+			fcfg.Cache = serverless.CacheSpec{}
 			fallback, err = serverless.NewProfile(fcfg)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: profiling %s fallback: %w", dep.Name, err)
 			}
+		}
+		// Resolve the batched-execution parameters against the measured
+		// profile: an unset KV pool inherits the instance's measured KV
+		// capacity, so legacy and batched admission see the same memory.
+		batch := dcfg.Scheduler.Batch
+		if batch.Enabled() && batch.KVBlocks == 0 {
+			batch.KVBlocks = prof.MaxKVTokens() / kvcache.TokensPerBlock
 		}
 		d := &depState{
 			cfg:      dcfg,
@@ -304,6 +318,8 @@ func Run(cfg Config) (*Result, error) {
 			name:     name,
 			key:      key,
 			fallback: fallback,
+			batched:  batch.Enabled(),
+			batch:    batch,
 			reg:      obs.NewRegistry(),
 			phases:   obs.NewPhaseBreakdown(),
 			rng:      rand.New(rand.NewSource(cfg.Seed ^ dcfg.Seed ^ 0x5eed ^ int64(di))),

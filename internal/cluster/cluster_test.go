@@ -81,8 +81,7 @@ func medusaDeployment(t testing.TB, name string, seed int64) serverless.Config {
 		Model:         fa.cfg,
 		Strategy:      engine.StrategyMedusa,
 		Store:         fixtureStore,
-		Artifact:      fa.art,
-		ArtifactBytes: fa.bytes,
+		Cache:         serverless.CacheSpec{Artifact: fa.art, ArtifactBytes: fa.bytes},
 		Seed:          seed,
 	}
 }
@@ -132,7 +131,7 @@ func churnConfig(policy artifactcache.PolicyKind) Config {
 }
 
 func idleOut(cfg serverless.Config, d time.Duration) serverless.Config {
-	cfg.IdleTimeout = d
+	cfg.Scheduler.IdleTimeout = d
 	return cfg
 }
 
@@ -140,8 +139,7 @@ func TestClusterCompletesAndConserves(t *testing.T) {
 	cfg := churnConfig(artifactcache.PolicyLRU)
 	vllmDep := medusaDeployment(t, "Qwen1.5-1.8B", 2)
 	vllmDep.Strategy = engine.StrategyVLLM
-	vllmDep.Artifact = nil
-	vllmDep.ArtifactBytes = 0
+	vllmDep.Cache = serverless.CacheSpec{}
 	cfg.Deployments = []serverless.Deployment{
 		{Name: "medusa-0.5b", Config: idleOut(medusaDeployment(t, "Qwen1.5-0.5B", 1), 300*time.Millisecond),
 			Requests: genTrace(t, 11, 2, 20)},

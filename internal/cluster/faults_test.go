@@ -16,7 +16,7 @@ import (
 // deployments whose relaunch churn gives the injector plenty of draws.
 func faultConfig(t *testing.T, plan *faults.Plan) Config {
 	cfg := churnConfig(artifactcache.PolicyLRU)
-	cfg.Faults = plan
+	cfg.Faults = serverless.FaultSpec{Plan: plan}
 	cfg.Deployments = []serverless.Deployment{
 		{Name: "a", Config: idleOut(medusaDeployment(t, "Qwen1.5-0.5B", 1), 250*time.Millisecond),
 			Requests: genTrace(t, 31, 2, 15)},
@@ -246,7 +246,7 @@ func TestClusterCrashValidation(t *testing.T) {
 	} {
 		cfg := base
 		plan := tc.plan
-		cfg.Faults = &plan
+		cfg.Faults = serverless.FaultSpec{Plan: &plan}
 		if _, err := Run(cfg); err == nil {
 			t.Errorf("%s: Run accepted an unsurvivable plan", tc.name)
 		}

@@ -11,7 +11,7 @@ import (
 func (r *Result) Render() string {
 	// Fault lines only appear under a nonzero plan so that fault-free
 	// output stays byte-identical to builds without fault injection.
-	withFaults := r.Config.Faults != nil && !r.Config.Faults.Zero()
+	withFaults := r.Config.Faults.Plan != nil && !r.Config.Faults.Plan.Zero()
 	var b strings.Builder
 	fmt.Fprintf(&b, "cluster: %d nodes × %d GPUs, policy %v, locality %.2f\n",
 		r.Config.Nodes, r.Config.GPUsPerNode, r.Config.Cache.Policy, r.Config.LocalityWeight)
@@ -20,6 +20,12 @@ func (r *Result) Render() string {
 			d.Name, d.Completed, d.TTFT.P50(), d.TTFT.P99(), d.ColdStarts, d.ColdStartTotal)
 		if d.ColdStart.Len() > 0 {
 			fmt.Fprintf(&b, "  cold start p50 %-12v p99 %-12v\n", d.ColdStart.P50(), d.ColdStart.P99())
+		}
+		// TPOT exists only in batched execution mode; gating on it keeps
+		// legacy output byte-identical.
+		if d.TPOT != nil {
+			fmt.Fprintf(&b, "  tpot p50 %-12v p99 %-12v preemptions %d\n",
+				d.TPOT.P50(), d.TPOT.P99(), d.Preemptions)
 		}
 		if withFaults {
 			fmt.Fprintf(&b, "  degraded %d (corrupt %d mismatch %d timeout %d)\n",

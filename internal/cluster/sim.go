@@ -11,6 +11,7 @@ import (
 	"github.com/medusa-repro/medusa/internal/faults"
 	"github.com/medusa-repro/medusa/internal/metrics"
 	"github.com/medusa-repro/medusa/internal/obs"
+	"github.com/medusa-repro/medusa/internal/sched"
 	"github.com/medusa-repro/medusa/internal/serverless"
 	"github.com/medusa-repro/medusa/internal/workload"
 )
@@ -57,6 +58,9 @@ type reqState struct {
 	dep      int
 	emitted  int
 	ttftSeen bool
+	// firstTok is when the first token was emitted (batched mode; the
+	// TPOT denominator interval starts here).
+	firstTok time.Duration
 	turn     int
 }
 
@@ -78,6 +82,18 @@ type instState struct {
 	// degraded records the fault reason when the launch fell back to the
 	// vanilla cold-start profile ("" for a clean Medusa launch).
 	degraded string
+	// sch is the instance's iteration-level scheduler (batched
+	// execution mode only; nil otherwise). It recycles with the
+	// instance state through the free-list.
+	sch *sched.Scheduler[*reqState]
+}
+
+// idleNow reports whether the instance currently holds no work.
+func (inst *instState) idleNow(batched bool) bool {
+	if batched {
+		return !inst.iterating && inst.sch.Idle()
+	}
+	return !inst.iterating && len(inst.running) == 0
 }
 
 // nodeState is one fleet node: a GPU budget, a warm-container pool and
@@ -104,6 +120,12 @@ type depState struct {
 	// (nil when no injector is attached or the strategy has no artifact).
 	fallback *serverless.Profile
 
+	// batched selects iteration-level continuous batching; batch is the
+	// resolved parameter set (KVBlocks defaulted from the profile's
+	// measured KV capacity, MaxSeqs from MaxBatch).
+	batched bool
+	batch   sched.Params
+
 	pending eventq.Deque[*reqState]
 	// active lists live instances in launch order.
 	active []*instState
@@ -125,12 +147,17 @@ type depState struct {
 	cColdStarts *obs.Counter
 	cIterations *obs.Counter
 	cFollowUps  *obs.Counter
+	cPreempt    *obs.Counter
 	sTTFT       *metrics.Sample
 	sE2E        *metrics.Sample
+	sTPOT       *metrics.Sample
 	sColdStart  *metrics.Sample
 	gLive       *obs.Gauge
 }
 
+// bindInstruments resolves the hot-path instruments once. The
+// batched-only instruments (tpot, preemptions) register lazily so a
+// legacy-mode registry renders exactly the historical instrument set.
 func (d *depState) bindInstruments() {
 	d.cCompleted = d.reg.Counter("completed")
 	d.cColdStarts = d.reg.Counter("cold_starts")
@@ -140,6 +167,10 @@ func (d *depState) bindInstruments() {
 	d.sE2E = d.reg.Sample("e2e")
 	d.sColdStart = d.reg.Sample("cold_start")
 	d.gLive = d.reg.Gauge("live_instances")
+	if d.batched {
+		d.cPreempt = d.reg.Counter("preemptions")
+		d.sTPOT = d.reg.Sample("tpot")
+	}
 }
 
 func (d *depState) liveChanged() {
@@ -183,6 +214,7 @@ type simulation struct {
 	scratchIntervals []obs.Interval
 	scratchAdmitted  []*reqState
 	scratchCrash     []*instState
+	scratchChunkDur  []time.Duration
 
 	created    int
 	completed  int
@@ -220,6 +252,13 @@ func (s *simulation) newInst(dep, node int) *instState {
 	s.instSeq++
 	inst.dep = dep
 	inst.node = node
+	if d := s.deps[dep]; d.batched {
+		if inst.sch == nil {
+			inst.sch = sched.New[*reqState](d.batch)
+		} else {
+			inst.sch.Reset(d.batch)
+		}
+	}
 	return inst
 }
 
@@ -229,7 +268,8 @@ func (s *simulation) newInst(dep, node int) *instState {
 func (s *simulation) freeInst(inst *instState) {
 	epoch := inst.epoch + 1
 	running := inst.running[:0]
-	*inst = instState{epoch: epoch, running: running}
+	// The scheduler recycles with the instance (newInst resets it).
+	*inst = instState{epoch: epoch, running: running, sch: inst.sch}
 	s.instPool = append(s.instPool, inst)
 }
 
@@ -266,7 +306,7 @@ func (s *simulation) run() (*Result, error) {
 	for di, d := range s.deps {
 		// Pre-warmed instances occupy GPUs from time zero, placed like
 		// any launch but charged no cold start.
-		for i := 0; i < d.cfg.Prewarm; i++ {
+		for i := 0; i < d.cfg.Scheduler.Prewarm; i++ {
 			node := s.placeNode(d)
 			if node == nil {
 				break
@@ -344,8 +384,8 @@ func (s *simulation) run() (*Result, error) {
 				break
 			}
 			d := s.deps[inst.dep]
-			if !inst.retired && inst.ready && !inst.iterating && len(inst.running) == 0 &&
-				s.now-inst.idleSince >= d.cfg.IdleTimeout {
+			if !inst.retired && inst.ready && inst.idleNow(d.batched) &&
+				s.now-inst.idleSince >= d.cfg.Scheduler.IdleTimeout {
 				s.retire(inst)
 				if err := s.autoscaleAll(); err != nil {
 					return nil, err
@@ -387,7 +427,7 @@ func (s *simulation) assemble() *Result {
 		completed := int(d.cCompleted.Value())
 		coldStarts := int(d.cColdStarts.Value())
 		degraded := int(d.reg.Counter("degraded_cold_starts").Value())
-		out.PerDeployment = append(out.PerDeployment, &DeploymentResult{
+		res := &DeploymentResult{
 			Name:            d.name,
 			TTFT:            d.sTTFT,
 			E2E:             d.sE2E,
@@ -398,7 +438,12 @@ func (s *simulation) assemble() *Result {
 			ColdStartPhases: d.phases,
 			ColdStartTotal:  d.csTotal,
 			Metrics:         d.reg,
-		})
+		}
+		if d.batched {
+			res.TPOT = d.sTPOT
+			res.Preemptions = int(d.cPreempt.Value())
+		}
+		out.PerDeployment = append(out.PerDeployment, res)
 		out.TotalColdStarts += coldStarts
 		out.Degraded += degraded
 		// Instances still live at the end are charged to the last
@@ -488,7 +533,7 @@ func (s *simulation) launchOne(di int) (bool, error) {
 	if d.outstanding == 0 {
 		return false, nil
 	}
-	desired := 1 + (d.outstanding-1)/d.cfg.InstanceTarget
+	desired := 1 + (d.outstanding-1)/d.cfg.Scheduler.InstanceTarget
 	if d.live >= desired {
 		return false, nil
 	}
@@ -652,13 +697,20 @@ func (s *simulation) crashNode(id int) error {
 			d.reg.Counter("lost_cold_starts").Inc()
 			s.reg.Counter("lost_cold_starts").Inc()
 		}
-		for _, r := range inst.running {
+		requeue := func(r *reqState) {
 			// Partial generation is lost: the request restarts from its
 			// first output token on whichever instance re-admits it.
 			r.emitted = 0
 			d.pending.PushBack(r)
 			d.reg.Counter("requeued").Inc()
 			s.reg.Counter("requeued").Inc()
+		}
+		if d.batched {
+			inst.sch.Drain(requeue)
+		} else {
+			for _, r := range inst.running {
+				requeue(r)
+			}
 		}
 		inst.running = inst.running[:0]
 		inst.iterating = false
@@ -694,7 +746,7 @@ func (s *simulation) dispatchIdle() error {
 func (s *simulation) admit(inst *instState) []*reqState {
 	d := s.deps[inst.dep]
 	admitted := s.scratchAdmitted[:0]
-	for d.pending.Len() > 0 && len(inst.running) < d.cfg.MaxBatch {
+	for d.pending.Len() > 0 && len(inst.running) < d.cfg.Scheduler.MaxBatch {
 		r := d.pending.Front()
 		need := r.PromptTokens + r.OutputTokens
 		if inst.kvTokens+need > s.profOf(inst).MaxKVTokens() {
@@ -711,6 +763,9 @@ func (s *simulation) admit(inst *instState) []*reqState {
 
 func (s *simulation) startIteration(inst *instState) error {
 	d := s.deps[inst.dep]
+	if d.batched {
+		return s.startIterationBatched(inst)
+	}
 	admitted := s.admit(inst)
 	if tr := d.cfg.Tracer; tr != nil {
 		for _, r := range admitted {
@@ -767,6 +822,9 @@ func (s *simulation) startIteration(inst *instState) error {
 
 func (s *simulation) finishIteration(inst *instState) error {
 	d := s.deps[inst.dep]
+	if d.batched {
+		return s.finishIterationBatched(inst)
+	}
 	inst.iterating = false
 	keep := inst.running[:0]
 	for _, r := range inst.running {
@@ -803,9 +861,159 @@ func (s *simulation) finishIteration(inst *instState) error {
 	return s.startIteration(inst)
 }
 
+// startIterationBatched plans one continuous-batching round through
+// the instance's scheduler and prices it exactly as the single-pool
+// simulator does: deferred graph capture (first use of a decode batch
+// size), one prefill cost per planned chunk, one decode step for the
+// decode batch. Iteration span children tile the interval — capture,
+// each chunk (tagged "preempt" when recomputing an evicted sequence's
+// prefix), then decode — so phase attribution never drifts.
+func (s *simulation) startIterationBatched(inst *instState) error {
+	d := s.deps[inst.dep]
+	peek := func() (int, int, bool) {
+		if d.pending.Len() == 0 {
+			return 0, 0, false
+		}
+		r := d.pending.Front()
+		return r.PromptTokens, r.OutputTokens, true
+	}
+	it, err := inst.sch.Plan(peek, d.pending.PopFront)
+	if err != nil {
+		return err
+	}
+	if it.Preemptions > 0 {
+		d.cPreempt.Add(int64(it.Preemptions))
+	}
+	if tr := d.cfg.Tracer; tr != nil {
+		for _, q := range it.Admitted {
+			r := q.Data
+			tr.RecordSpan(d.name+"/queue", fmt.Sprintf("req-%d", r.ID), "queued",
+				r.Arrival, s.now,
+				obs.Attr{Key: "prompt_tokens", Value: fmt.Sprint(r.PromptTokens)},
+				obs.Attr{Key: "turn", Value: fmt.Sprint(r.turn)})
+		}
+	}
+	if it.Empty() {
+		return nil
+	}
+	prof := s.profOf(inst)
+	var dur, captureDur time.Duration
+	if prof.Deferred() && len(it.Decode) > 0 {
+		gb, c, err := prof.CaptureCost(len(it.Decode))
+		if err != nil {
+			return err
+		}
+		if inst.captured == nil {
+			inst.captured = make(map[int]bool)
+		}
+		if !inst.captured[gb] {
+			inst.captured[gb] = true
+			captureDur = c
+			dur += c
+		}
+	}
+	chunkDur := s.scratchChunkDur[:0]
+	for _, ch := range it.Chunks {
+		p, err := prof.Prefill(ch.Tokens)
+		if err != nil {
+			return err
+		}
+		chunkDur = append(chunkDur, p)
+		dur += p
+	}
+	s.scratchChunkDur = chunkDur
+	var stepDur time.Duration
+	if len(it.Decode) > 0 {
+		stepDur, err = prof.DecodeStep(len(it.Decode))
+		if err != nil {
+			return err
+		}
+		dur += stepDur
+	}
+	inst.iterating = true
+	d.cIterations.Inc()
+	if tr := d.cfg.Tracer; tr != nil {
+		phase := "decode"
+		switch {
+		case len(it.Chunks) > 0 && len(it.Decode) > 0:
+			phase = "prefill+decode"
+		case len(it.Chunks) > 0:
+			phase = "prefill"
+		}
+		root := tr.StartSpan(s.instTrack(inst), "iteration", s.now).
+			Tag(phase).
+			Attr("batch", fmt.Sprint(len(it.Decode)+len(it.Chunks))).
+			Attr("admitted", fmt.Sprint(len(it.Admitted))).
+			Attr("preemptions", fmt.Sprint(it.Preemptions))
+		off := s.now
+		if captureDur > 0 {
+			root.Child("graph_capture", off).Tag("capture").End(off + captureDur)
+			off += captureDur
+		}
+		for i, ch := range it.Chunks {
+			tag := "prefill"
+			if ch.Seq.Preemptions() > 0 {
+				tag = "preempt"
+			}
+			root.Child("prefill", off).Tag(tag).
+				Attr("tokens", fmt.Sprint(ch.Tokens)).
+				End(off + chunkDur[i])
+			off += chunkDur[i]
+		}
+		if len(it.Decode) > 0 {
+			root.Child("decode", off).Tag("decode").End(off + stepDur)
+			off += stepDur
+		}
+		root.End(off)
+	}
+	s.schedule(s.now+dur, event{kind: evIterationEnd, inst: inst, epoch: inst.epoch})
+	return nil
+}
+
+// finishIterationBatched applies the elapsed round: per-token events
+// feed TTFT at the first emission and TPOT (mean inter-token gap) at
+// completion.
+func (s *simulation) finishIterationBatched(inst *instState) error {
+	d := s.deps[inst.dep]
+	inst.iterating = false
+	inst.sch.Finish(
+		func(r *reqState, emitted int) {
+			r.emitted = emitted
+			if !r.ttftSeen {
+				r.ttftSeen = true
+				r.firstTok = s.now
+				d.sTTFT.Add(s.now - r.Arrival)
+			}
+		},
+		func(r *reqState) {
+			d.sE2E.Add(s.now - r.Arrival)
+			if r.OutputTokens > 1 {
+				d.sTPOT.Add((s.now - r.firstTok) / time.Duration(r.OutputTokens-1))
+			}
+			d.cCompleted.Inc()
+			s.completed++
+			d.outstanding--
+			if s.now > d.lastDone {
+				d.lastDone = s.now
+			}
+			if s.now > s.lastDone {
+				s.lastDone = s.now
+			}
+			s.maybeFollowUp(r)
+			s.freeReq(r)
+		})
+	if inst.sch.Idle() {
+		s.markIdle(inst)
+	}
+	if err := s.autoscaleAll(); err != nil {
+		return err
+	}
+	return s.startIteration(inst)
+}
+
 func (s *simulation) maybeFollowUp(r *reqState) {
 	d := s.deps[r.dep]
-	fu := d.cfg.FollowUp
+	fu := d.cfg.Workload.FollowUp
 	if fu == nil || fu.Probability <= 0 {
 		return
 	}
@@ -836,8 +1044,8 @@ func (s *simulation) maybeFollowUp(r *reqState) {
 
 func (s *simulation) markIdle(inst *instState) {
 	inst.idleSince = s.now
-	if s.deps[inst.dep].cfg.IdleTimeout > 0 {
-		s.schedule(s.now+s.deps[inst.dep].cfg.IdleTimeout,
+	if s.deps[inst.dep].cfg.Scheduler.IdleTimeout > 0 {
+		s.schedule(s.now+s.deps[inst.dep].cfg.Scheduler.IdleTimeout,
 			event{kind: evIdleCheck, inst: inst, epoch: inst.epoch})
 	}
 }

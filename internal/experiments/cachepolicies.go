@@ -55,10 +55,10 @@ func runExtCachePolicies(c *Context) (*Report, error) {
 				Name: cfg.Name,
 				Config: serverless.Config{
 					Model: cfg, Strategy: engine.StrategyMedusa,
-					Store: c.Store, Artifact: art, ArtifactBytes: size,
+					Store: c.Store, Cache: serverless.CacheSpec{Artifact: art, ArtifactBytes: size},
 					Seed: int64(i + 1),
 					// churn: idle instances die between bursts
-					Autoscale: serverless.Autoscale{IdleTimeout: 150 * time.Millisecond},
+					Scheduler: serverless.Scheduler{IdleTimeout: 150 * time.Millisecond},
 				},
 			})
 		}

@@ -12,6 +12,7 @@ import (
 	"github.com/medusa-repro/medusa/internal/medusa"
 	"github.com/medusa-repro/medusa/internal/model"
 	"github.com/medusa-repro/medusa/internal/obs"
+	"github.com/medusa-repro/medusa/internal/sched"
 	"github.com/medusa-repro/medusa/internal/storage"
 	"github.com/medusa-repro/medusa/internal/vclock"
 )
@@ -27,6 +28,12 @@ type Context struct {
 	// trace because the exporter orders spans by content, not by
 	// emission order.
 	Tracer *obs.Tracer
+	// Batch, when enabled, overrides the batching parameters of
+	// experiments that serve with continuous batching (ext-batching
+	// runs a single cell with these knobs instead of its built-in
+	// sweep). medusa-bench populates it from the -batch-tokens /
+	// -kv-blocks / -chunked-prefill flags shared with medusa-simulate.
+	Batch sched.Params
 
 	mu        sync.Mutex
 	artifacts map[string]*artifactEntry

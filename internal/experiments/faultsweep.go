@@ -55,11 +55,11 @@ func runExtFaultSweep(c *Context) (*Report, error) {
 				Name: cfg.Name,
 				Config: serverless.Config{
 					Model: cfg, Strategy: engine.StrategyMedusa,
-					Store: c.Store, Artifact: art, ArtifactBytes: size,
+					Store: c.Store, Cache: serverless.CacheSpec{Artifact: art, ArtifactBytes: size},
 					Seed: int64(i + 1),
 					// churn: idle instances die between bursts, so each
 					// fault-probability point sees many launches
-					Autoscale: serverless.Autoscale{IdleTimeout: 150 * time.Millisecond},
+					Scheduler: serverless.Scheduler{IdleTimeout: 150 * time.Millisecond},
 				},
 			})
 		}
@@ -117,7 +117,7 @@ func runExtFaultSweep(c *Context) (*Report, error) {
 			LocalityWeight: 0.8,
 			Seed:           7,
 			Deployments:    deps,
-			Faults:         &plan,
+			Faults:         serverless.FaultSpec{Plan: &plan},
 		}
 		res, err := cluster.Run(ccfg)
 		if err != nil {

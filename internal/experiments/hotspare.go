@@ -61,7 +61,7 @@ func runHotSpare(c *Context) (*Report, error) {
 				Model:    cfg,
 				Strategy: pol.strategy,
 				Store:    c.Store,
-				Autoscale: serverless.Autoscale{
+				Scheduler: serverless.Scheduler{
 					Prewarm:        pol.prewarm,
 					IdleTimeout:    pol.idle,
 					InstanceTarget: 64,
@@ -73,8 +73,7 @@ func runHotSpare(c *Context) (*Report, error) {
 				if err != nil {
 					return nil, err
 				}
-				dcfg.Artifact = art
-				dcfg.ArtifactBytes = size
+				dcfg.Cache = serverless.CacheSpec{Artifact: art, ArtifactBytes: size}
 			}
 			mc.Deployments = append(mc.Deployments, serverless.Deployment{
 				Name: name, Config: dcfg, Requests: reqs,

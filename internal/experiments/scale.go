@@ -68,9 +68,9 @@ func runExtScale(c *Context) (*Report, error) {
 				Name: cfg.Name,
 				Config: serverless.Config{
 					Model: cfg, Strategy: engine.StrategyMedusa,
-					Store: c.Store, Artifact: art, ArtifactBytes: size,
+					Store: c.Store, Cache: serverless.CacheSpec{Artifact: art, ArtifactBytes: size},
 					Seed:      int64(i + 1),
-					Autoscale: serverless.Autoscale{IdleTimeout: 200 * time.Millisecond},
+					Scheduler: serverless.Scheduler{IdleTimeout: 200 * time.Millisecond},
 				},
 			})
 		}

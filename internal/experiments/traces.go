@@ -36,8 +36,7 @@ func (c *Context) simConfig(cfg model.Config, strategy engine.Strategy) (serverl
 		if err != nil {
 			return sc, err
 		}
-		sc.Artifact = art
-		sc.ArtifactBytes = size
+		sc.Cache = serverless.CacheSpec{Artifact: art, ArtifactBytes: size}
 	}
 	return sc, nil
 }
@@ -130,7 +129,7 @@ func runFigure11(c *Context) (*Report, error) {
 				if err != nil {
 					return nil, err
 				}
-				sc.Prewarm = 1
+				sc.Scheduler.Prewarm = 1
 				res, err := serverless.Run(sc, reqs)
 				if err != nil {
 					return nil, fmt.Errorf("%s %s rps=%v: %w", name, s, rps, err)

@@ -32,15 +32,30 @@ func BlocksForTokens(n int) int {
 	return (n + TokensPerBlock - 1) / TokensPerBlock
 }
 
-// OutOfBlocksError reports block exhaustion.
+// OutOfBlocksError reports block exhaustion: the requesting sequence,
+// how many blocks the operation needed, how many were free, and the
+// shortfall (Needed − Free) — the quantity a preemption policy must
+// reclaim before retrying.
 type OutOfBlocksError struct {
-	Seq    uint64
-	Needed int
-	Free   int
+	Seq       uint64
+	Needed    int
+	Free      int
+	Shortfall int
 }
 
 func (e *OutOfBlocksError) Error() string {
-	return fmt.Sprintf("kvcache: sequence %d needs %d blocks, %d free", e.Seq, e.Needed, e.Free)
+	return fmt.Sprintf("kvcache: sequence %d needs %d blocks, %d free (short %d)",
+		e.Seq, e.Needed, e.Free, e.Shortfall)
+}
+
+// reservation records one uncommitted Reserve so Rollback can restore
+// the manager byte-for-byte: the tokens added, the number of blocks
+// popped from the free tail, and whether the sequence existed before.
+type reservation struct {
+	seq     uint64
+	tokens  int
+	blocks  int
+	existed bool
 }
 
 // Manager tracks block ownership. It is not safe for concurrent use;
@@ -50,6 +65,7 @@ type Manager struct {
 	free      []int
 	tables    map[uint64][]int
 	seqLens   map[uint64]int
+	pending   []reservation
 }
 
 // NewManager creates a manager over numBlocks blocks.
@@ -102,15 +118,83 @@ func (m *Manager) Append(seq uint64, n int) error {
 	}
 	need := m.blocksNeeded(seq, n)
 	if need > len(m.free) {
-		return &OutOfBlocksError{Seq: seq, Needed: need, Free: len(m.free)}
+		return &OutOfBlocksError{Seq: seq, Needed: need, Free: len(m.free), Shortfall: need - len(m.free)}
 	}
+	m.grow(seq, n, need)
+	return nil
+}
+
+// grow pops need blocks from the free tail onto seq's table and extends
+// its length by n tokens. Callers have already checked capacity.
+func (m *Manager) grow(seq uint64, n, need int) {
 	for i := 0; i < need; i++ {
 		b := m.free[len(m.free)-1]
 		m.free = m.free[:len(m.free)-1]
 		m.tables[seq] = append(m.tables[seq], b)
 	}
 	m.seqLens[seq] += n
+}
+
+// Reserve extends a sequence like Append but logs the allocation in an
+// open reservation, so a batch of per-sequence admissions can be
+// checked atomically: reserve each member in turn, and on the first
+// OutOfBlocksError call Rollback to restore the manager byte-for-byte
+// (free-list order included) before choosing a preemption victim.
+// Commit closes the reservation and makes the allocations permanent.
+func (m *Manager) Reserve(seq uint64, n int) error {
+	if n < 0 {
+		return fmt.Errorf("kvcache: negative reserve %d", n)
+	}
+	need := m.blocksNeeded(seq, n)
+	if need > len(m.free) {
+		return &OutOfBlocksError{Seq: seq, Needed: need, Free: len(m.free), Shortfall: need - len(m.free)}
+	}
+	_, existed := m.seqLens[seq]
+	m.pending = append(m.pending, reservation{seq: seq, tokens: n, blocks: need, existed: existed})
+	m.grow(seq, n, need)
 	return nil
+}
+
+// Rollback undoes every uncommitted Reserve in reverse order, pushing
+// blocks back onto the free list in the exact positions they were
+// popped from, so the manager state (and therefore every downstream
+// deterministic allocation) is byte-identical to before the first
+// Reserve.
+func (m *Manager) Rollback() {
+	for i := len(m.pending) - 1; i >= 0; i-- {
+		r := m.pending[i]
+		table := m.tables[r.seq]
+		for j := 0; j < r.blocks; j++ {
+			b := table[len(table)-1]
+			table = table[:len(table)-1]
+			m.free = append(m.free, b)
+		}
+		if len(table) == 0 && !r.existed {
+			delete(m.tables, r.seq)
+			delete(m.seqLens, r.seq)
+			continue
+		}
+		m.tables[r.seq] = table
+		m.seqLens[r.seq] -= r.tokens
+	}
+	m.pending = m.pending[:0]
+}
+
+// Commit makes every uncommitted Reserve permanent.
+func (m *Manager) Commit() {
+	m.pending = m.pending[:0]
+}
+
+// Reset restores the manager to its freshly constructed state without
+// reallocating, so pooled managers can be recycled across instances.
+func (m *Manager) Reset() {
+	m.free = m.free[:0]
+	for i := 0; i < m.numBlocks; i++ {
+		m.free = append(m.free, m.numBlocks-1-i)
+	}
+	clear(m.tables)
+	clear(m.seqLens)
+	m.pending = m.pending[:0]
 }
 
 // Release frees all blocks of a sequence.

@@ -106,6 +106,127 @@ func TestNegativeAppendRejected(t *testing.T) {
 	}
 }
 
+func TestReserveRollbackRestoresState(t *testing.T) {
+	m := NewManager(4)
+	if err := m.Append(1, 20); err != nil { // 2 blocks committed
+		t.Fatal(err)
+	}
+	freeBefore := append([]int(nil), m.free...)
+	if err := m.Reserve(1, 13); err != nil { // extends into block 3
+		t.Fatal(err)
+	}
+	if err := m.Reserve(2, 10); err != nil { // new sequence, block 4
+		t.Fatal(err)
+	}
+	err := m.Reserve(3, 1)
+	var oob *OutOfBlocksError
+	if !errors.As(err, &oob) {
+		t.Fatalf("Reserve on empty pool = %v", err)
+	}
+	if oob.Seq != 3 || oob.Shortfall != 1 {
+		t.Fatalf("OutOfBlocksError = %+v, want seq 3 shortfall 1", oob)
+	}
+	m.Rollback()
+	if m.SeqLen(1) != 20 || m.SeqLen(2) != 0 || m.Sequences() != 1 {
+		t.Fatalf("rollback left len1=%d len2=%d seqs=%d", m.SeqLen(1), m.SeqLen(2), m.Sequences())
+	}
+	for i, b := range m.free {
+		if freeBefore[i] != b {
+			t.Fatalf("rollback reordered free list: %v != %v", m.free, freeBefore)
+		}
+	}
+}
+
+func TestReserveCommitIsPermanent(t *testing.T) {
+	m := NewManager(4)
+	if err := m.Reserve(1, 20); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit()
+	m.Rollback() // must be a no-op after Commit
+	if m.SeqLen(1) != 20 || m.UsedBlocks() != 2 {
+		t.Fatalf("commit not permanent: len=%d used=%d", m.SeqLen(1), m.UsedBlocks())
+	}
+}
+
+func TestResetRestoresFreshState(t *testing.T) {
+	m := NewManager(3)
+	m.Append(1, 40)
+	m.Reserve(2, 1)
+	m.Reset()
+	fresh := NewManager(3)
+	if m.NumFreeBlocks() != 3 || m.Sequences() != 0 || len(m.pending) != 0 {
+		t.Fatalf("Reset left free=%d seqs=%d pending=%d", m.NumFreeBlocks(), m.Sequences(), len(m.pending))
+	}
+	for i := range fresh.free {
+		if m.free[i] != fresh.free[i] {
+			t.Fatalf("Reset free-list order %v != fresh %v", m.free, fresh.free)
+		}
+	}
+}
+
+// Property: under admit/preempt/resume churn expressed through the
+// reservation API — reserve-batches that either commit or roll back,
+// interleaved with releases (preemption) and re-appends (resume) —
+// block accounting stays exact, no block has two owners, and every
+// table length matches BlocksForTokens of its sequence length.
+func TestReserveConservationProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const blocks = 24
+		m := NewManager(blocks)
+		for _, op := range ops {
+			seq := uint64(op % 6)
+			switch op % 5 {
+			case 0: // preempt: recompute-on-resume drops all blocks
+				m.Release(seq)
+			case 1: // resume: re-append the recomputed prefix
+				n := int(op%17) + 1
+				if m.CanAppend(seq, n) {
+					if m.Append(seq, n) != nil {
+						return false
+					}
+				}
+			default: // admission batch of 1–3 sequences, commit or roll back
+				batch := int(op%3) + 1
+				ok := true
+				for i := 0; i < batch; i++ {
+					if m.Reserve((seq+uint64(i))%6, int(op%13)+1) != nil {
+						ok = false
+						break
+					}
+				}
+				if ok && op%2 == 0 {
+					m.Commit()
+				} else {
+					m.Rollback()
+				}
+			}
+			owned := map[int]uint64{}
+			total := 0
+			for s := uint64(0); s < 8; s++ {
+				bt := m.BlockTable(s)
+				if len(bt) != BlocksForTokens(m.SeqLen(s)) {
+					return false
+				}
+				for _, b := range bt {
+					if prev, dup := owned[b]; dup && prev != s {
+						return false
+					}
+					owned[b] = s
+				}
+				total += len(bt)
+			}
+			if total+m.NumFreeBlocks() != blocks {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: under any interleaving of appends and releases, block
 // accounting is exact and no block is owned by two sequences.
 func TestBlockAccountingProperty(t *testing.T) {

@@ -11,7 +11,7 @@ import (
 func TestMaxBatchLimitsAdmission(t *testing.T) {
 	_, base := simFixture(t, "Qwen1.5-0.5B")
 	base.Strategy = engine.StrategyMedusa
-	base.MaxBatch = 2
+	base.Scheduler.MaxBatch = 2
 	base.NumGPUs = 1
 	// Four simultaneous long requests on a 1-GPU, batch-2 cluster: the
 	// last two must wait for completions.
@@ -61,7 +61,7 @@ func TestKVCapacityLimitsAdmission(t *testing.T) {
 func TestDeferredStrategyInCluster(t *testing.T) {
 	_, base := simFixture(t, "Qwen1.5-0.5B")
 	base.Strategy = engine.StrategyDeferred
-	base.Artifact = nil // deferred needs no artifact
+	base.Cache.Artifact = nil // deferred needs no artifact
 	reqs := shortTrace(t, 5, 10)
 	res, err := Run(base, reqs)
 	if err != nil {
@@ -86,7 +86,7 @@ func TestDeferredStrategyInCluster(t *testing.T) {
 func TestPrewarmAvoidsColdStart(t *testing.T) {
 	_, base := simFixture(t, "Qwen1.5-0.5B")
 	base.Strategy = engine.StrategyMedusa
-	base.Prewarm = 1
+	base.Scheduler.Prewarm = 1
 	reqs := shortTrace(t, 2, 10)
 	res, err := Run(base, reqs)
 	if err != nil {

@@ -54,7 +54,7 @@ func BenchmarkServerlessSimWallclock(b *testing.B) {
 	}
 	sc := Config{
 		Model: cfg, Strategy: engine.StrategyVLLM, Store: store, Seed: 1,
-		Autoscale: Autoscale{IdleTimeout: 250 * time.Millisecond, InstanceTarget: 64},
+		Scheduler: Scheduler{IdleTimeout: 250 * time.Millisecond, InstanceTarget: 64},
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -15,8 +15,8 @@ func faultyMedusa(t *testing.T, plan *faults.Plan) Config {
 	t.Helper()
 	_, base := simFixture(t, "Qwen1.5-0.5B")
 	base.Strategy = engine.StrategyMedusa
-	base.IdleTimeout = 2 * time.Second
-	base.Faults = plan
+	base.Scheduler.IdleTimeout = 2 * time.Second
+	base.Faults = FaultSpec{Plan: plan}
 	return base
 }
 
@@ -62,7 +62,7 @@ func TestRunDegradesPerSite(t *testing.T) {
 		// The degraded launch pays the failed attempt plus a vanilla cold
 		// start, so its TTFT exceeds the clean Medusa launch's.
 		clean := cfg
-		clean.Faults = nil
+		clean.Faults = FaultSpec{}
 		cres, err := Run(clean, churnReqs(3))
 		if err != nil {
 			t.Fatal(err)

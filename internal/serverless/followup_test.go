@@ -13,7 +13,7 @@ import (
 func TestFollowUpTurnsSpawn(t *testing.T) {
 	_, base := simFixture(t, "Qwen1.5-0.5B")
 	base.Strategy = engine.StrategyMedusa
-	base.FollowUp = &FollowUpModel{
+	base.Workload.FollowUp = &FollowUpModel{
 		Probability: 1.0,
 		ThinkTime:   2 * time.Second,
 		MaxTurns:    3,
@@ -43,7 +43,7 @@ func TestFollowUpTurnsSpawn(t *testing.T) {
 func TestFollowUpContextGrows(t *testing.T) {
 	_, base := simFixture(t, "Qwen1.5-0.5B")
 	base.Strategy = engine.StrategyMedusa
-	base.FollowUp = &FollowUpModel{Probability: 1, ThinkTime: time.Second, MaxTurns: 2, NewTokens: 10}
+	base.Workload.FollowUp = &FollowUpModel{Probability: 1, ThinkTime: time.Second, MaxTurns: 2, NewTokens: 10}
 	reqs := []workload.Request{{ID: 0, Arrival: 0, PromptTokens: 100, OutputTokens: 20}}
 	res, err := Run(base, reqs)
 	if err != nil {
@@ -75,7 +75,7 @@ func TestFollowUpDisabledByDefault(t *testing.T) {
 func TestFollowUpZeroProbability(t *testing.T) {
 	_, base := simFixture(t, "Qwen1.5-0.5B")
 	base.Strategy = engine.StrategyMedusa
-	base.FollowUp = &FollowUpModel{Probability: 0, ThinkTime: time.Second, MaxTurns: 10}
+	base.Workload.FollowUp = &FollowUpModel{Probability: 0, ThinkTime: time.Second, MaxTurns: 10}
 	reqs := []workload.Request{{ID: 0, Arrival: 0, PromptTokens: 64, OutputTokens: 4}}
 	res, err := Run(base, reqs)
 	if err != nil {
@@ -137,8 +137,8 @@ func TestTPDegreeValidation(t *testing.T) {
 func TestWarmContainerPoolExhaustion(t *testing.T) {
 	_, base := simFixture(t, "Qwen1.5-0.5B")
 	base.Strategy = engine.StrategyMedusa
-	base.InstanceTarget = 1 // every outstanding request wants its own instance
-	base.MaxBatch = 1       // and each instance serves exactly one at a time
+	base.Scheduler.InstanceTarget = 1 // every outstanding request wants its own instance
+	base.Scheduler.MaxBatch = 1       // and each instance serves exactly one at a time
 	base.NumGPUs = 2
 	// Long outputs keep instance 1 busy past instance 2's launch, so
 	// request 2 genuinely waits for the second (pool-missing) launch.
@@ -148,7 +148,7 @@ func TestWarmContainerPoolExhaustion(t *testing.T) {
 	}
 	run := func(pool int) *Result {
 		cfg := base
-		cfg.WarmContainers = pool
+		cfg.Scheduler.WarmContainers = pool
 		res, err := Run(cfg, reqs)
 		if err != nil {
 			t.Fatal(err)

@@ -14,21 +14,72 @@ import (
 
 	"github.com/medusa-repro/medusa/internal/engine"
 	"github.com/medusa-repro/medusa/internal/faults"
+	"github.com/medusa-repro/medusa/internal/kvcache"
 	"github.com/medusa-repro/medusa/internal/medusa"
 	"github.com/medusa-repro/medusa/internal/metrics"
 	"github.com/medusa-repro/medusa/internal/model"
 	"github.com/medusa-repro/medusa/internal/obs"
+	"github.com/medusa-repro/medusa/internal/sched"
 	"github.com/medusa-repro/medusa/internal/storage"
 	"github.com/medusa-repro/medusa/internal/trace"
 	"github.com/medusa-repro/medusa/internal/workload"
 )
 
-// Autoscale groups the scaling policy: when instances are added, when
-// idle ones retire, and what is provisioned before the first arrival.
-// It is embedded in Config, so the historical flat field names
-// (cfg.Prewarm, cfg.IdleTimeout, …) keep working through promotion;
-// only keyed composite literals spell out the sub-struct.
-type Autoscale struct {
+// ConfigError reports one rejected configuration field. Callers that
+// need to distinguish validation failures from simulation failures can
+// errors.As on it and read the field path.
+type ConfigError struct {
+	// Field is the offending field's path within the configuration,
+	// e.g. "Scheduler.MaxBatch" or "Workload.FollowUp.Probability".
+	Field string
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("serverless: invalid %s: %s", e.Field, e.Reason)
+}
+
+// Workload groups the assumptions about the request stream's shape —
+// everything about traffic that is not the arrival trace itself.
+type Workload struct {
+	// AvgContextTokens is the mean sequence context assumed for decode
+	// KV-read accounting (default: ShareGPT prompt + half output).
+	AvgContextTokens int
+	// FollowUp, when set, turns the trace into multi-turn
+	// conversations: after a request completes, the "user" reads the
+	// answer and may send a follow-up whose prompt includes the
+	// conversation so far — ShareGPT's actual shape.
+	FollowUp *FollowUpModel
+}
+
+// Validate checks the workload sub-config, naming fields under the
+// "Workload." path.
+func (w Workload) Validate() error {
+	if w.AvgContextTokens < 0 {
+		return &ConfigError{Field: "Workload.AvgContextTokens",
+			Reason: fmt.Sprintf("must be ≥ 0, got %d", w.AvgContextTokens)}
+	}
+	if fu := w.FollowUp; fu != nil {
+		if fu.Probability < 0 || fu.Probability > 1 {
+			return &ConfigError{Field: "Workload.FollowUp.Probability",
+				Reason: fmt.Sprintf("must be in [0,1], got %g", fu.Probability)}
+		}
+		if fu.ThinkTime < 0 {
+			return &ConfigError{Field: "Workload.FollowUp.ThinkTime",
+				Reason: fmt.Sprintf("must be ≥ 0, got %v", fu.ThinkTime)}
+		}
+	}
+	return nil
+}
+
+// Scheduler groups the serving policy: per-instance admission, the
+// autoscaling rules that add and retire instances, and the optional
+// iteration-level batched execution mode.
+type Scheduler struct {
+	// MaxBatch bounds per-instance concurrency (vLLM max_num_seqs).
+	MaxBatch int
 	// InstanceTarget is the outstanding-request count one instance is
 	// expected to absorb before the autoscaler adds another.
 	InstanceTarget int
@@ -44,31 +95,42 @@ type Autoscale struct {
 	// phase on top of the loading phase. 0 means an unbounded pool —
 	// the paper's setting.
 	WarmContainers int
+	// Batch selects iteration-level continuous batching with paged KV
+	// and chunked prefill (internal/sched) when Batch.BatchTokens > 0.
+	// The zero value keeps the legacy whole-request admission path,
+	// byte-identical to before the scheduler existed. Batch.KVBlocks 0
+	// derives the pool from the instance profile's measured KV
+	// capacity; Batch.MaxSeqs 0 inherits MaxBatch.
+	Batch sched.Params
 }
 
-// ConfigError reports one rejected Config field. Callers that need to
-// distinguish validation failures from simulation failures can
-// errors.As on it and read the field name.
-type ConfigError struct {
-	// Field is the offending Config field (promoted name).
-	Field string
-	// Reason says what is wrong with it.
-	Reason string
+// Validate checks the scheduler sub-config, naming fields under the
+// "Scheduler." path.
+func (s Scheduler) Validate() error {
+	switch {
+	case s.MaxBatch < 0:
+		return &ConfigError{Field: "Scheduler.MaxBatch", Reason: fmt.Sprintf("must be ≥ 0, got %d", s.MaxBatch)}
+	case s.InstanceTarget < 0:
+		return &ConfigError{Field: "Scheduler.InstanceTarget", Reason: fmt.Sprintf("must be ≥ 0, got %d", s.InstanceTarget)}
+	case s.IdleTimeout < 0:
+		return &ConfigError{Field: "Scheduler.IdleTimeout", Reason: fmt.Sprintf("must be ≥ 0, got %v", s.IdleTimeout)}
+	case s.Prewarm < 0:
+		return &ConfigError{Field: "Scheduler.Prewarm", Reason: fmt.Sprintf("must be ≥ 0, got %d", s.Prewarm)}
+	case s.WarmContainers < 0:
+		return &ConfigError{Field: "Scheduler.WarmContainers", Reason: fmt.Sprintf("must be ≥ 0, got %d", s.WarmContainers)}
+	case s.Batch.BatchTokens < 0:
+		return &ConfigError{Field: "Scheduler.Batch.BatchTokens", Reason: fmt.Sprintf("must be ≥ 0, got %d", s.Batch.BatchTokens)}
+	case s.Batch.KVBlocks < 0:
+		return &ConfigError{Field: "Scheduler.Batch.KVBlocks", Reason: fmt.Sprintf("must be ≥ 0, got %d", s.Batch.KVBlocks)}
+	case s.Batch.MaxSeqs < 0:
+		return &ConfigError{Field: "Scheduler.Batch.MaxSeqs", Reason: fmt.Sprintf("must be ≥ 0, got %d", s.Batch.MaxSeqs)}
+	}
+	return nil
 }
 
-// Error implements error.
-func (e *ConfigError) Error() string {
-	return fmt.Sprintf("serverless: invalid %s: %s", e.Field, e.Reason)
-}
-
-// Config parameterizes one cluster simulation.
-type Config struct {
-	// Model is the served model.
-	Model model.Config
-	// Strategy is the cold-start loading strategy.
-	Strategy engine.Strategy
-	// Store holds weights and artifacts.
-	Store *storage.Store
+// CacheSpec groups the materialization inputs: the Medusa artifact and
+// how it reaches the instance.
+type CacheSpec struct {
 	// Artifact is required for strategies whose descriptor reports
 	// NeedsArtifact.
 	Artifact *medusa.Artifact
@@ -81,6 +143,45 @@ type Config struct {
 	// (tier- and dedup-dependent), so the template profile must not
 	// also charge the storage read inside the restore stage.
 	ArtifactPreloaded bool
+}
+
+// FaultSpec groups fault injection. The sub-config exists so the
+// serverless and cluster configurations share one validation path and
+// one field-path namespace for fault options.
+type FaultSpec struct {
+	// Plan, when set to a nonzero plan, injects deterministic faults
+	// into artifact-based launches: SSD read errors (retried with
+	// backoff, then degrade), artifact corruption and restore-validation
+	// mismatches (degrade to the vanilla cold-start stages). The
+	// single-pool simulator has no registry or nodes, so RegistryTimeout
+	// and NodeCrashes entries are ignored here; the cluster simulator
+	// exercises them. Nil or a zero plan changes nothing.
+	Plan *faults.Plan
+}
+
+// Validate checks the fault sub-config, naming fields under the
+// "Faults." path.
+func (f FaultSpec) Validate() error {
+	if f.Plan != nil {
+		if err := f.Plan.Validate(); err != nil {
+			return &ConfigError{Field: "Faults.Plan", Reason: err.Error()}
+		}
+	}
+	return nil
+}
+
+// Config parameterizes one cluster simulation. The scalar identity of
+// the deployment (model, strategy, resources, seed) lives at the top
+// level; policy knobs compose from the Workload, Scheduler, Cache and
+// Faults sub-configs, each with its own Validate under one shared
+// field-path namespace.
+type Config struct {
+	// Model is the served model.
+	Model model.Config
+	// Strategy is the cold-start loading strategy.
+	Strategy engine.Strategy
+	// Store holds weights and artifacts.
+	Store *storage.Store
 	// NumGPUs bounds concurrent instances (the paper's testbed has 4).
 	NumGPUs int
 	// TPDegree shards each instance tensor-parallel across this many
@@ -88,19 +189,6 @@ type Config struct {
 	// at most NumGPUs/TPDegree instances run concurrently. 0 or 1 means
 	// single-GPU instances.
 	TPDegree int
-	// MaxBatch bounds per-instance concurrency (vLLM max_num_seqs).
-	MaxBatch int
-	// Autoscale is the scaling policy. Its fields are promoted, so
-	// cfg.Prewarm etc. read and assign as before.
-	Autoscale
-	// AvgContextTokens is the mean sequence context assumed for decode
-	// KV-read accounting (default: ShareGPT prompt + half output).
-	AvgContextTokens int
-	// FollowUp, when set, turns the trace into multi-turn
-	// conversations: after a request completes, the "user" reads the
-	// answer and may send a follow-up whose prompt includes the
-	// conversation so far — ShareGPT's actual shape.
-	FollowUp *FollowUpModel
 	// Seed namespaces the profile instance's address space and the
 	// follow-up sampling.
 	Seed int64
@@ -115,38 +203,35 @@ type Config struct {
 	// cold starts with phase children, per-iteration serving spans, and
 	// per-request queueing. All timestamps are simulation-virtual.
 	Tracer *obs.Tracer
-	// Faults, when set to a nonzero plan, injects deterministic faults
-	// into artifact-based launches: SSD read errors (retried with
-	// backoff, then degrade), artifact corruption and restore-validation
-	// mismatches (degrade to the vanilla cold-start stages). The
-	// single-pool simulator has no registry or nodes, so RegistryTimeout
-	// and NodeCrashes entries are ignored here; the cluster simulator
-	// exercises them. Nil or a zero plan changes nothing.
-	Faults *faults.Plan
+	// Workload describes the request stream's shape.
+	Workload Workload
+	// Scheduler is the serving and autoscaling policy.
+	Scheduler Scheduler
+	// Cache is the artifact materialization input.
+	Cache CacheSpec
+	// Faults is the fault-injection policy.
+	Faults FaultSpec
 }
 
 // Validate checks the configuration's invariants as-is, without
 // applying defaults, and returns a *ConfigError naming the first
-// offending field. The zero values Validate accepts are the ones
-// withDefaults later fills in.
+// offending field by its sub-config path. The zero values Validate
+// accepts are the ones withDefaults later fills in.
 func (c Config) Validate() error {
 	switch {
 	case c.NumGPUs < 0:
 		return &ConfigError{Field: "NumGPUs", Reason: fmt.Sprintf("must be ≥ 0, got %d", c.NumGPUs)}
 	case c.TPDegree < 0:
 		return &ConfigError{Field: "TPDegree", Reason: fmt.Sprintf("must be ≥ 0, got %d", c.TPDegree)}
-	case c.MaxBatch < 0:
-		return &ConfigError{Field: "MaxBatch", Reason: fmt.Sprintf("must be ≥ 0, got %d", c.MaxBatch)}
-	case c.InstanceTarget < 0:
-		return &ConfigError{Field: "InstanceTarget", Reason: fmt.Sprintf("must be ≥ 0, got %d", c.InstanceTarget)}
-	case c.IdleTimeout < 0:
-		return &ConfigError{Field: "IdleTimeout", Reason: fmt.Sprintf("must be ≥ 0, got %v", c.IdleTimeout)}
-	case c.Prewarm < 0:
-		return &ConfigError{Field: "Prewarm", Reason: fmt.Sprintf("must be ≥ 0, got %d", c.Prewarm)}
-	case c.WarmContainers < 0:
-		return &ConfigError{Field: "WarmContainers", Reason: fmt.Sprintf("must be ≥ 0, got %d", c.WarmContainers)}
-	case c.AvgContextTokens < 0:
-		return &ConfigError{Field: "AvgContextTokens", Reason: fmt.Sprintf("must be ≥ 0, got %d", c.AvgContextTokens)}
+	}
+	if err := c.Scheduler.Validate(); err != nil {
+		return err
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	if !c.Strategy.Valid() {
 		return &ConfigError{Field: "Strategy", Reason: fmt.Sprintf("unknown strategy %d", int(c.Strategy))}
@@ -155,21 +240,11 @@ func (c Config) Validate() error {
 		return &ConfigError{Field: "TPDegree",
 			Reason: fmt.Sprintf("TP degree %d exceeds %d GPUs", c.TPDegree, c.NumGPUs)}
 	}
-	if fu := c.FollowUp; fu != nil {
-		if fu.Probability < 0 || fu.Probability > 1 {
-			return &ConfigError{Field: "FollowUp.Probability",
-				Reason: fmt.Sprintf("must be in [0,1], got %g", fu.Probability)}
-		}
-		if fu.ThinkTime < 0 {
-			return &ConfigError{Field: "FollowUp.ThinkTime",
-				Reason: fmt.Sprintf("must be ≥ 0, got %v", fu.ThinkTime)}
-		}
-	}
 	// Tensor-parallel instances materialize per-rank artifacts inside
 	// engine.TPColdStart; only single-GPU artifact strategies need one
 	// up front.
-	if c.Strategy.NeedsArtifact() && c.Artifact == nil && c.TPDegree <= 1 {
-		return &ConfigError{Field: "Artifact",
+	if c.Strategy.NeedsArtifact() && c.Cache.Artifact == nil && c.TPDegree <= 1 {
+		return &ConfigError{Field: "Cache.Artifact",
 			Reason: fmt.Sprintf("%v strategy requires an artifact", c.Strategy)}
 	}
 	return nil
@@ -203,14 +278,17 @@ func (c Config) withDefaults() (Config, error) {
 	if c.TPDegree < 1 {
 		c.TPDegree = 1
 	}
-	if c.MaxBatch == 0 {
-		c.MaxBatch = model.MaxCaptureBatch()
+	if c.Scheduler.MaxBatch == 0 {
+		c.Scheduler.MaxBatch = model.MaxCaptureBatch()
 	}
-	if c.InstanceTarget == 0 {
-		c.InstanceTarget = 128
+	if c.Scheduler.InstanceTarget == 0 {
+		c.Scheduler.InstanceTarget = 128
 	}
-	if c.AvgContextTokens == 0 {
-		c.AvgContextTokens = workload.ShareGPTMeanPrompt + workload.ShareGPTMeanOutput/2
+	if c.Scheduler.Batch.Enabled() && c.Scheduler.Batch.MaxSeqs == 0 {
+		c.Scheduler.Batch.MaxSeqs = c.Scheduler.MaxBatch
+	}
+	if c.Workload.AvgContextTokens == 0 {
+		c.Workload.AvgContextTokens = workload.ShareGPTMeanPrompt + workload.ShareGPTMeanOutput/2
 	}
 	if c.Store == nil {
 		c.Store = storage.NewStore(storage.DefaultArray())
@@ -225,6 +303,15 @@ type Result struct {
 	TTFT *metrics.Sample
 	// E2E is end-to-end request latency.
 	E2E *metrics.Sample
+	// TPOT is the time-per-output-token sample — per completed request,
+	// the mean inter-token gap (last token minus first token over
+	// output−1 tokens). It is recorded only in batched execution mode
+	// (Scheduler.Batch enabled), where per-token completion events
+	// exist; nil otherwise.
+	TPOT *metrics.Sample
+	// Preemptions counts scheduler evictions under KV pressure
+	// (batched execution mode only).
+	Preemptions int
 	// Completed counts finished requests.
 	Completed int
 	// Makespan is arrival of the first request to completion of the
@@ -309,7 +396,7 @@ func buildProfile(cfg Config) (*profile, error) {
 	// 2 bytes · layers over HBM bandwidth; sharded TP ranks each read
 	// 1/TP of it in parallel.
 	m := cfg.Model
-	bytesPerSeq := float64(cfg.AvgContextTokens) * float64(m.Hidden) * 2 * 2 * float64(m.Layers) / float64(cfg.TPDegree)
+	bytesPerSeq := float64(cfg.Workload.AvgContextTokens) * float64(m.Hidden) * 2 * 2 * float64(m.Layers) / float64(cfg.TPDegree)
 
 	if cfg.TPDegree > 1 {
 		tp, err := engine.TPColdStart(engine.TPOptions{
@@ -341,9 +428,9 @@ func buildProfile(cfg Config) (*profile, error) {
 		Strategy:          cfg.Strategy,
 		Seed:              cfg.Seed ^ 0x7a7a,
 		Store:             cfg.Store,
-		Artifact:          cfg.Artifact,
-		ArtifactBytes:     cfg.ArtifactBytes,
-		ArtifactPreloaded: cfg.ArtifactPreloaded,
+		Artifact:          cfg.Cache.Artifact,
+		ArtifactBytes:     cfg.Cache.ArtifactBytes,
+		ArtifactPreloaded: cfg.Cache.ArtifactPreloaded,
 	})
 	if err != nil {
 		return nil, err
@@ -449,8 +536,8 @@ type MultiConfig struct {
 	// then ignored and request IDs are assigned in delivery order.
 	Arrivals ArrivalSource
 	// Faults applies one fault plan to every deployment's launches (see
-	// Config.Faults for which sites the single-pool simulator honors).
-	Faults *faults.Plan
+	// FaultSpec for which sites the single-pool simulator honors).
+	Faults FaultSpec
 }
 
 // MultiResult aggregates a shared-cluster simulation.
@@ -479,8 +566,8 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 	if cfg.WarmContainers > 0 {
 		sim.warmLeft = cfg.WarmContainers
 	}
-	if cfg.Faults != nil {
-		inj, err := faults.NewInjector(*cfg.Faults)
+	if cfg.Faults.Plan != nil {
+		inj, err := faults.NewInjector(*cfg.Faults.Plan)
 		if err != nil {
 			return nil, err
 		}
@@ -524,16 +611,14 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 		if sim.inj != nil && dcfg.Strategy.NeedsArtifact() && dcfg.TPDegree <= 1 {
 			fcfg := dcfg
 			fcfg.Strategy = engine.StrategyVLLM
-			fcfg.Artifact = nil
-			fcfg.ArtifactBytes = 0
-			fcfg.ArtifactPreloaded = false
+			fcfg.Cache = CacheSpec{}
 			fallback, err = buildProfile(fcfg)
 			if err != nil {
 				return nil, fmt.Errorf("serverless: profiling %s fallback: %w", dep.Name, err)
 			}
-			size := dcfg.ArtifactBytes
-			if size == 0 && dcfg.Artifact != nil {
-				enc, err := dcfg.Artifact.Encode()
+			size := dcfg.Cache.ArtifactBytes
+			if size == 0 && dcfg.Cache.Artifact != nil {
+				enc, err := dcfg.Cache.Artifact.Encode()
 				if err != nil {
 					return nil, fmt.Errorf("serverless: encoding %s artifact: %w", dep.Name, err)
 				}
@@ -542,6 +627,13 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 			artRead = dcfg.Store.Array().ReadDuration(size)
 			fkey = dcfg.Model.Name + "@" + dcfg.Strategy.String()
 		}
+		// Resolve the batched-execution parameters against the measured
+		// profile: an unset KV pool inherits the instance's measured KV
+		// capacity, so legacy and batched admission see the same memory.
+		batch := dcfg.Scheduler.Batch
+		if batch.Enabled() && batch.KVBlocks == 0 {
+			batch.KVBlocks = prof.maxKVTok / kvcache.TokensPerBlock
+		}
 		d := &depState{
 			cfg:      dcfg,
 			prof:     prof,
@@ -549,6 +641,8 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 			fkey:     fkey,
 			artRead:  artRead,
 			name:     name,
+			batched:  batch.Enabled(),
+			batch:    batch,
 			reg:      obs.NewRegistry(),
 			phases:   obs.NewPhaseBreakdown(),
 			rng:      rand.New(rand.NewSource(dcfg.Seed ^ 0x5eed ^ int64(di))),
@@ -612,7 +706,7 @@ func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 	}
 	multi, err := RunMulti(MultiConfig{
 		NumGPUs:        cfg.NumGPUs,
-		WarmContainers: cfg.WarmContainers,
+		WarmContainers: cfg.Scheduler.WarmContainers,
 		Deployments:    []Deployment{{Name: cfg.Model.Name, Config: cfg, Requests: reqs}},
 		Faults:         cfg.Faults,
 	})

@@ -23,7 +23,7 @@ func simFixture(t testing.TB, name string) (*storage.Store, Config) {
 		t.Fatal(err)
 	}
 	return store, Config{
-		Model: cfg, Store: store, Artifact: art, ArtifactBytes: report.ArtifactBytes, Seed: 1,
+		Model: cfg, Store: store, Cache: CacheSpec{Artifact: art, ArtifactBytes: report.ArtifactBytes}, Seed: 1,
 	}
 }
 
@@ -107,7 +107,7 @@ func TestMedusaBeatsVLLMTail(t *testing.T) {
 func TestAutoscaleUnderBurst(t *testing.T) {
 	_, base := simFixture(t, "Qwen1.5-0.5B")
 	base.Strategy = engine.StrategyMedusa
-	base.InstanceTarget = 16
+	base.Scheduler.InstanceTarget = 16
 	base.NumGPUs = 4
 	reqs := shortTrace(t, 40, 10)
 	res, err := Run(base, reqs)
@@ -125,7 +125,7 @@ func TestAutoscaleUnderBurst(t *testing.T) {
 func TestIdleTimeoutRetiresInstances(t *testing.T) {
 	_, base := simFixture(t, "Qwen1.5-0.5B")
 	base.Strategy = engine.StrategyMedusa
-	base.IdleTimeout = 2 * time.Second
+	base.Scheduler.IdleTimeout = 2 * time.Second
 	// Two widely separated requests: the second should see a fresh cold
 	// start after the first instance retires.
 	reqs := []workload.Request{
@@ -170,7 +170,7 @@ func TestRunValidation(t *testing.T) {
 		t.Fatal("empty trace accepted")
 	}
 	bad := base
-	bad.Artifact = nil
+	bad.Cache.Artifact = nil
 	bad.Strategy = engine.StrategyMedusa
 	if _, err := Run(bad, shortTrace(t, 1, 2)); err == nil {
 		t.Fatal("Medusa without artifact accepted")

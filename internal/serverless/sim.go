@@ -10,6 +10,7 @@ import (
 	"github.com/medusa-repro/medusa/internal/faults"
 	"github.com/medusa-repro/medusa/internal/metrics"
 	"github.com/medusa-repro/medusa/internal/obs"
+	"github.com/medusa-repro/medusa/internal/sched"
 	"github.com/medusa-repro/medusa/internal/workload"
 )
 
@@ -62,6 +63,9 @@ type reqState struct {
 	dep      int // owning deployment
 	emitted  int
 	ttftSeen bool
+	// firstTok is when the first token was emitted (batched mode; the
+	// TPOT denominator interval starts here).
+	firstTok time.Duration
 	// turn is the request's position in its conversation (1-based).
 	turn int
 }
@@ -88,6 +92,18 @@ type instState struct {
 	// degraded records the fault reason when the launch fell back to
 	// the vanilla cold-start profile ("" for a clean launch).
 	degraded string
+	// sch is the instance's iteration-level scheduler (batched
+	// execution mode only; nil otherwise). It recycles with the
+	// instance state through the free-list.
+	sch *sched.Scheduler[*reqState]
+}
+
+// idleNow reports whether the instance currently holds no work.
+func (inst *instState) idleNow(batched bool) bool {
+	if batched {
+		return !inst.iterating && inst.sch.Idle()
+	}
+	return !inst.iterating && len(inst.running) == 0
 }
 
 // depState is one deployment's queue, profile and metrics. All
@@ -107,6 +123,12 @@ type depState struct {
 	fallback *profile
 	fkey     string
 	artRead  time.Duration
+
+	// batched selects iteration-level continuous batching; batch is
+	// the resolved parameter set (KVBlocks defaulted from the profile's
+	// measured KV capacity, MaxSeqs from MaxBatch).
+	batched bool
+	batch   sched.Params
 
 	pending eventq.Deque[*reqState]
 	// active lists live instances in launch order — the dispatch and
@@ -130,12 +152,16 @@ type depState struct {
 	cColdStarts *obs.Counter
 	cIterations *obs.Counter
 	cFollowUps  *obs.Counter
+	cPreempt    *obs.Counter
 	sTTFT       *metrics.Sample
 	sE2E        *metrics.Sample
+	sTPOT       *metrics.Sample
 	gLive       *obs.Gauge
 }
 
-// bindInstruments resolves the hot-path instruments once.
+// bindInstruments resolves the hot-path instruments once. The
+// batched-only instruments (tpot, preemptions) register lazily so a
+// legacy-mode registry renders exactly the historical instrument set.
 func (d *depState) bindInstruments() {
 	d.cCompleted = d.reg.Counter("completed")
 	d.cColdStarts = d.reg.Counter("cold_starts")
@@ -144,6 +170,10 @@ func (d *depState) bindInstruments() {
 	d.sTTFT = d.reg.Sample("ttft")
 	d.sE2E = d.reg.Sample("e2e")
 	d.gLive = d.reg.Gauge("live_instances")
+	if d.batched {
+		d.cPreempt = d.reg.Counter("preemptions")
+		d.sTPOT = d.reg.Sample("tpot")
+	}
 }
 
 // liveChanged records the live-instance level in the gauge (its Max is
@@ -192,6 +222,7 @@ type simulation struct {
 	// Scratch buffers reused across calls on the hot path.
 	scratchIntervals []obs.Interval
 	scratchAdmitted  []*reqState
+	scratchChunkDur  []time.Duration
 
 	created    int
 	completed  int
@@ -234,6 +265,13 @@ func (s *simulation) newInst(dep int) *instState {
 	inst.id = s.instSeq
 	s.instSeq++
 	inst.dep = dep
+	if d := s.deps[dep]; d.batched {
+		if inst.sch == nil {
+			inst.sch = sched.New[*reqState](d.batch)
+		} else {
+			inst.sch.Reset(d.batch)
+		}
+	}
 	return inst
 }
 
@@ -242,7 +280,8 @@ func (s *simulation) newInst(dep int) *instState {
 func (s *simulation) freeInst(inst *instState) {
 	epoch := inst.epoch + 1
 	running := inst.running[:0]
-	*inst = instState{epoch: epoch, running: running}
+	// The scheduler recycles with the instance (newInst resets it).
+	*inst = instState{epoch: epoch, running: running, sch: inst.sch}
 	s.instPool = append(s.instPool, inst)
 }
 
@@ -282,7 +321,7 @@ func (s *simulation) pullArrival() error {
 func (s *simulation) run() (*MultiResult, error) {
 	for di, d := range s.deps {
 		// Pre-warmed instances occupy their GPUs from time zero.
-		for i := 0; i < d.cfg.Prewarm; i++ {
+		for i := 0; i < d.cfg.Scheduler.Prewarm; i++ {
 			if s.gpusInUse+d.cfg.TPDegree > s.numGPUs {
 				break
 			}
@@ -343,8 +382,8 @@ func (s *simulation) run() (*MultiResult, error) {
 				break
 			}
 			d := s.deps[inst.dep]
-			if !inst.retired && inst.ready && !inst.iterating && len(inst.running) == 0 &&
-				s.now-inst.idleSince >= d.cfg.IdleTimeout {
+			if !inst.retired && inst.ready && inst.idleNow(d.batched) &&
+				s.now-inst.idleSince >= d.cfg.Scheduler.IdleTimeout {
 				s.retire(inst)
 				// A freed GPU may unblock another deployment's launch.
 				s.autoscaleAll()
@@ -398,6 +437,10 @@ func (s *simulation) assemble() *MultiResult {
 			ColdStartTotal:  d.csTotal,
 			Metrics:         d.reg,
 		}
+		if d.batched {
+			res.TPOT = d.sTPOT
+			res.Preemptions = int(d.cPreempt.Value())
+		}
 		out.PerDeployment = append(out.PerDeployment, res)
 		out.TotalColdStarts += coldStarts
 		// Instances still live at the end are charged to the last
@@ -432,7 +475,7 @@ func (s *simulation) launchOne(di int) bool {
 	if d.outstanding == 0 {
 		return false
 	}
-	desired := 1 + (d.outstanding-1)/d.cfg.InstanceTarget
+	desired := 1 + (d.outstanding-1)/d.cfg.Scheduler.InstanceTarget
 	if d.live >= desired {
 		return false
 	}
@@ -577,7 +620,7 @@ func (s *simulation) dispatchIdle() error {
 func (s *simulation) admit(inst *instState) []*reqState {
 	d := s.deps[inst.dep]
 	admitted := s.scratchAdmitted[:0]
-	for d.pending.Len() > 0 && len(inst.running) < d.cfg.MaxBatch {
+	for d.pending.Len() > 0 && len(inst.running) < d.cfg.Scheduler.MaxBatch {
 		r := d.pending.Front()
 		need := r.PromptTokens + r.OutputTokens
 		if inst.kvTokens+need > s.profOf(inst).maxKVTok {
@@ -594,9 +637,13 @@ func (s *simulation) admit(inst *instState) []*reqState {
 
 // startIteration admits work and schedules the iteration's end. An
 // iteration covers the prefill of newly admitted requests plus one
-// decode step for every running sequence.
+// decode step for every running sequence. Batched deployments plan
+// the iteration through the continuous-batching scheduler instead.
 func (s *simulation) startIteration(inst *instState) error {
 	d := s.deps[inst.dep]
+	if d.batched {
+		return s.startIterationBatched(inst)
+	}
 	admitted := s.admit(inst)
 	if tr := d.cfg.Tracer; tr != nil {
 		// A request's queueing span closes when it is admitted into an
@@ -659,6 +706,9 @@ func (s *simulation) startIteration(inst *instState) error {
 // finished ones, and starts the next iteration.
 func (s *simulation) finishIteration(inst *instState) error {
 	d := s.deps[inst.dep]
+	if d.batched {
+		return s.finishIterationBatched(inst)
+	}
 	inst.iterating = false
 	keep := inst.running[:0]
 	for _, r := range inst.running {
@@ -693,12 +743,160 @@ func (s *simulation) finishIteration(inst *instState) error {
 	return s.startIteration(inst)
 }
 
+// startIterationBatched plans one continuous-batching round through
+// the instance's scheduler and prices it with the engine cost model:
+// deferred graph capture (first use of a decode batch size), one
+// prefill cost per planned chunk, one decode step for the whole decode
+// batch. The iteration span's children tile the interval exactly —
+// capture, each chunk (tagged "preempt" when it recomputes an evicted
+// sequence's prefix), then decode — so phase attribution never drifts.
+func (s *simulation) startIterationBatched(inst *instState) error {
+	d := s.deps[inst.dep]
+	peek := func() (int, int, bool) {
+		if d.pending.Len() == 0 {
+			return 0, 0, false
+		}
+		r := d.pending.Front()
+		return r.PromptTokens, r.OutputTokens, true
+	}
+	it, err := inst.sch.Plan(peek, d.pending.PopFront)
+	if err != nil {
+		return err
+	}
+	if it.Preemptions > 0 {
+		d.cPreempt.Add(int64(it.Preemptions))
+	}
+	if tr := d.cfg.Tracer; tr != nil {
+		for _, q := range it.Admitted {
+			r := q.Data
+			tr.RecordSpan(d.name+"/queue", fmt.Sprintf("req-%d", r.ID), "queued",
+				r.Arrival, s.now,
+				obs.Attr{Key: "prompt_tokens", Value: fmt.Sprint(r.PromptTokens)},
+				obs.Attr{Key: "turn", Value: fmt.Sprint(r.turn)})
+		}
+	}
+	if it.Empty() {
+		return nil
+	}
+	prof := s.profOf(inst)
+	var dur, captureDur time.Duration
+	if prof.deferred && len(it.Decode) > 0 {
+		gb, c, err := prof.captureCost(len(it.Decode))
+		if err != nil {
+			return err
+		}
+		if inst.captured == nil {
+			inst.captured = make(map[int]bool)
+		}
+		if !inst.captured[gb] {
+			inst.captured[gb] = true
+			captureDur = c
+			dur += c
+		}
+	}
+	chunkDur := s.scratchChunkDur[:0]
+	for _, ch := range it.Chunks {
+		p, err := prof.prefillDur(ch.Tokens)
+		if err != nil {
+			return err
+		}
+		chunkDur = append(chunkDur, p)
+		dur += p
+	}
+	s.scratchChunkDur = chunkDur
+	var stepDur time.Duration
+	if len(it.Decode) > 0 {
+		stepDur, err = prof.decodeStep(len(it.Decode))
+		if err != nil {
+			return err
+		}
+		dur += stepDur
+	}
+	inst.iterating = true
+	d.cIterations.Inc()
+	if tr := d.cfg.Tracer; tr != nil {
+		phase := "decode"
+		switch {
+		case len(it.Chunks) > 0 && len(it.Decode) > 0:
+			phase = "prefill+decode"
+		case len(it.Chunks) > 0:
+			phase = "prefill"
+		}
+		root := tr.StartSpan(s.instTrack(inst), "iteration", s.now).
+			Tag(phase).
+			Attr("batch", fmt.Sprint(len(it.Decode)+len(it.Chunks))).
+			Attr("admitted", fmt.Sprint(len(it.Admitted))).
+			Attr("preemptions", fmt.Sprint(it.Preemptions))
+		off := s.now
+		if captureDur > 0 {
+			root.Child("graph_capture", off).Tag("capture").End(off + captureDur)
+			off += captureDur
+		}
+		for i, ch := range it.Chunks {
+			tag := "prefill"
+			if ch.Seq.Preemptions() > 0 {
+				tag = "preempt"
+			}
+			root.Child("prefill", off).Tag(tag).
+				Attr("tokens", fmt.Sprint(ch.Tokens)).
+				End(off + chunkDur[i])
+			off += chunkDur[i]
+		}
+		if len(it.Decode) > 0 {
+			root.Child("decode", off).Tag("decode").End(off + stepDur)
+			off += stepDur
+		}
+		root.End(off)
+	}
+	s.schedule(s.now+dur, event{kind: evIterationEnd, inst: inst, epoch: inst.epoch})
+	return nil
+}
+
+// finishIterationBatched applies the elapsed round: per-token events
+// feed TTFT at the first emission and TPOT (mean inter-token gap) at
+// completion.
+func (s *simulation) finishIterationBatched(inst *instState) error {
+	d := s.deps[inst.dep]
+	inst.iterating = false
+	inst.sch.Finish(
+		func(r *reqState, emitted int) {
+			r.emitted = emitted
+			if !r.ttftSeen {
+				r.ttftSeen = true
+				r.firstTok = s.now
+				d.sTTFT.Add(s.now - r.Arrival)
+			}
+		},
+		func(r *reqState) {
+			d.sE2E.Add(s.now - r.Arrival)
+			if r.OutputTokens > 1 {
+				d.sTPOT.Add((s.now - r.firstTok) / time.Duration(r.OutputTokens-1))
+			}
+			d.cCompleted.Inc()
+			s.completed++
+			d.outstanding--
+			if s.now > d.lastDone {
+				d.lastDone = s.now
+			}
+			if s.now > s.lastDone {
+				s.lastDone = s.now
+			}
+			s.maybeFollowUp(r)
+			s.freeReq(r)
+		})
+	if inst.sch.Idle() {
+		s.markIdle(inst)
+	}
+	s.autoscaleAll()
+	return s.startIteration(inst)
+}
+
 // maybeFollowUp spawns the next conversation turn after a completion:
 // the user reads the answer (think time), then sends a follow-up whose
 // prompt carries the accumulated context.
 func (s *simulation) maybeFollowUp(r *reqState) {
 	d := s.deps[r.dep]
-	fu := d.cfg.FollowUp
+	fu := d.cfg.Workload.FollowUp
 	if fu == nil || fu.Probability <= 0 {
 		return
 	}
@@ -730,8 +928,8 @@ func (s *simulation) maybeFollowUp(r *reqState) {
 // markIdle stamps the instance idle and arms the retirement timer.
 func (s *simulation) markIdle(inst *instState) {
 	inst.idleSince = s.now
-	if s.deps[inst.dep].cfg.IdleTimeout > 0 {
-		s.schedule(s.now+s.deps[inst.dep].cfg.IdleTimeout,
+	if s.deps[inst.dep].cfg.Scheduler.IdleTimeout > 0 {
+		s.schedule(s.now+s.deps[inst.dep].cfg.Scheduler.IdleTimeout,
 			event{kind: evIdleCheck, inst: inst, epoch: inst.epoch})
 	}
 }

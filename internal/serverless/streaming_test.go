@@ -34,7 +34,7 @@ func streamingFixture(t testing.TB) (MultiConfig, [][]workload.Request) {
 	t.Helper()
 	_, base := simFixture(t, "Qwen1.5-0.5B")
 	base.Strategy = engine.StrategyMedusa
-	base.IdleTimeout = 300 * time.Millisecond
+	base.Scheduler.IdleTimeout = 300 * time.Millisecond
 	a := base
 	a.Seed = 1
 	b := base
