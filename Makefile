@@ -16,17 +16,23 @@ build:
 vet:
 	$(GO) vet ./...
 
-# medusalint enforces the simulator's determinism and capture-safety
-# invariants (wallclock, seededrand, maporder, capturesync); see
-# DESIGN.md §8 for the invariant-to-analyzer mapping.
+# medusalint enforces the simulator's determinism, capture-safety, and
+# pooled-state invariants: the syntactic passes (wallclock, seededrand,
+# maporder, capturesync) plus the flow-aware CFG passes (kvpair,
+# epochguard, poolescape, spanpair); see DESIGN.md §8 for the
+# invariant-to-analyzer mapping. The generous wall-clock budget is a
+# tripwire so the CFG passes can't silently blow up CI time (timeout
+# exits 124 on breach).
+LINT_BUDGET ?= 180s
 lint:
-	$(GO) run ./cmd/medusalint ./...
+	timeout $(LINT_BUDGET) $(GO) run ./cmd/medusalint ./...
 
 # Godoc gate: fail on any undocumented exported identifier in the
 # packages whose APIs FAILURES.md and DESIGN.md document.
 docs:
 	$(GO) run ./cmd/medusa-doccheck ./internal/faults ./internal/artifactcache \
-		./internal/cluster ./internal/serverless ./internal/sched ./internal/cliconfig
+		./internal/cluster ./internal/serverless ./internal/sched ./internal/cliconfig \
+		./internal/eventq ./internal/workload ./internal/replicate
 
 test:
 	$(GO) test ./...

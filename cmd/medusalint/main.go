@@ -1,18 +1,29 @@
 // medusalint is the multichecker driver for the repository's custom
-// determinism and capture-safety analyzers:
+// determinism and capture-safety analyzers. Four are syntactic AST
+// passes:
 //
 //	wallclock   — all timing flows through internal/vclock, never time.Now
 //	seededrand  — every RNG derives from a config seed
 //	maporder    — no order-dependent map iteration on serialization paths
 //	capturesync — no sync / module loading between BeginCapture and EndCapture
 //
+// and four are flow-aware, built on the intraprocedural CFG and
+// path-sensitive pairing engine under internal/lint/analysis:
+//
+//	kvpair      — every kvcache Reserve reaches Commit or Rollback on all paths
+//	epochguard  — epoch comparison dominates every mutation of pooled event state
+//	poolescape  — no use of a free-listed pointer after freeReq/freeInst/recycle
+//	spanpair    — every obs span begun is Ended (or handed off) on all paths
+//
 // Standalone use (what `make lint` runs):
 //
-//	medusalint [-run wallclock,maporder] [packages]
+//	medusalint [-run wallclock,maporder] [-json] [packages]
 //
 // exits 0 when the tree is clean and 1 with file:line:col findings
-// otherwise. A justified //medusalint:allow analyzer(reason) directive
-// on or directly above a line suppresses one finding.
+// otherwise; -json reports the findings as a JSON array of
+// {file,line,col,analyzer,message} objects instead of text. A
+// justified //medusalint:allow analyzer(reason) directive on or
+// directly above a line suppresses one finding.
 //
 // The binary also speaks the go vet -vettool protocol: invoked with
 // -V=full it prints its version, and invoked with a *.cfg argument it
@@ -36,19 +47,56 @@ import (
 
 	"github.com/medusa-repro/medusa/internal/lint/analysis"
 	"github.com/medusa-repro/medusa/internal/lint/capturesync"
+	"github.com/medusa-repro/medusa/internal/lint/epochguard"
+	"github.com/medusa-repro/medusa/internal/lint/kvpair"
 	"github.com/medusa-repro/medusa/internal/lint/loader"
 	"github.com/medusa-repro/medusa/internal/lint/maporder"
+	"github.com/medusa-repro/medusa/internal/lint/poolescape"
 	"github.com/medusa-repro/medusa/internal/lint/runner"
 	"github.com/medusa-repro/medusa/internal/lint/seededrand"
+	"github.com/medusa-repro/medusa/internal/lint/spanpair"
 	"github.com/medusa-repro/medusa/internal/lint/wallclock"
 )
 
 // suite is every analyzer medusalint ships, in report order.
 var suite = []*analysis.Analyzer{
 	capturesync.Analyzer,
+	epochguard.Analyzer,
+	kvpair.Analyzer,
 	maporder.Analyzer,
+	poolescape.Analyzer,
 	seededrand.Analyzer,
+	spanpair.Analyzer,
 	wallclock.Analyzer,
+}
+
+// jsonFinding is the -json wire form of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// printJSON writes findings as a JSON array (always an array, [] when
+// clean) for machine consumption — CI annotation, editors, dashboards.
+func printJSON(findings []runner.Finding) {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
 }
 
 func main() {
@@ -56,6 +104,7 @@ func main() {
 	flagFlags := flag.Bool("flags", false, "print flag definitions as JSON and exit (go vet -vettool handshake)")
 	flagRun := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	flagList := flag.Bool("list", false, "list analyzers and exit")
+	flagJSON := flag.Bool("json", false, "report findings as a JSON array of {file,line,col,analyzer,message}")
 	flag.Parse()
 
 	if *flagV != "" {
@@ -96,8 +145,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *flagJSON {
+		printJSON(findings)
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "medusalint: %d finding(s)\n", len(findings))

@@ -129,6 +129,8 @@ func RunOffline(opts OfflineOptions) (*medusa.Artifact, *OfflineReport, error) {
 		Parallelism:     opts.Parallelism,
 	})
 	if err != nil {
+		anSpan.End(opts.Clock.Now())
+		offRoot.End(opts.Clock.Now())
 		return nil, nil, fmt.Errorf("engine: analysis stage: %w", err)
 	}
 	report.TotalNodes = art.TotalNodes()
@@ -140,12 +142,14 @@ func RunOffline(opts OfflineOptions) (*medusa.Artifact, *OfflineReport, error) {
 		// pointers, or restoration would leave them stale.
 		warnings, err := medusa.ScanIndirectPointers(rec, inst.Process(), art)
 		if err != nil {
+			offRoot.End(opts.Clock.Now())
 			return nil, nil, err
 		}
 		report.IndirectPointerWarnings = len(warnings)
 
 		correction, err := validateArtifact(inst, art, opts)
 		if err != nil {
+			offRoot.End(opts.Clock.Now())
 			return nil, nil, err
 		}
 		report.Correction = correction
@@ -153,6 +157,7 @@ func RunOffline(opts OfflineOptions) (*medusa.Artifact, *OfflineReport, error) {
 
 	encoded, err := art.Encode()
 	if err != nil {
+		offRoot.End(opts.Clock.Now())
 		return nil, nil, err
 	}
 	report.ArtifactBytes = uint64(len(encoded))

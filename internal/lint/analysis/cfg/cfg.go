@@ -1,0 +1,412 @@
+// Package cfg builds intraprocedural control-flow graphs for the
+// flow-aware medusalint analyzers, using only the standard library. It
+// plays the role golang.org/x/tools/go/analysis/passes/ctrlflow plays
+// for the real go/analysis framework: one Graph per function body,
+// basic blocks of statement-level nodes, and edges for every branch,
+// loop, switch, select, label, goto and return the language offers.
+//
+// The granularity is deliberately statement-level, not expression-level:
+// an if statement contributes its Init and Cond as ordinary nodes of the
+// predecessor block, and both branch blocks are successors. Analyzers
+// that need to see a call buried in a condition therefore find it inside
+// a node; short-circuit evaluation inside one condition is not split
+// into blocks. This keeps the builder small and is conservative in the
+// right direction for the pairing analyses built on top (a call that
+// might not execute is treated as executing, and the paths that must
+// close a resource still must).
+//
+// Two terminator forms get special treatment: a return statement edges
+// to the synthetic Exit block, and a direct call to panic ends its block
+// with no successors — a panicking path is not a "return path", so the
+// all-paths pairing analyzers do not demand cleanup on it (mirroring
+// x/tools' lostcancel, whose CFG treats panic as no-return).
+//
+// Function literals are opaque: a FuncLit appearing in a statement is
+// part of that node, and its body is NOT woven into the enclosing graph.
+// Analyzers build a separate Graph per literal body when they care.
+package cfg
+
+import "go/ast"
+
+// Block is one basic block: a straight-line sequence of nodes executed
+// in order, then a transfer to one of Succs.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (stable, build
+	// order; useful as a map key or bitset index).
+	Index int
+	// Nodes are the statements (and hoisted init/cond expressions) the
+	// block executes, in order.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Blocks lists every block, Entry first. Unreachable blocks (code
+	// after a terminator) are retained — analyzers walk reachable
+	// subgraphs from Entry and naturally ignore them.
+	Blocks []*Block
+	// Entry is where control enters the body.
+	Entry *Block
+	// Exit is the synthetic function-exit block: every return statement
+	// and every fall-off-the-end path edges here. It holds no nodes.
+	Exit *Block
+}
+
+// New builds the control-flow graph of one function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: map[string]*labelInfo{}}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	cur := b.stmtList(g.Entry, body.List)
+	// Falling off the end of the body returns.
+	b.edge(cur, g.Exit)
+	return g
+}
+
+// labelInfo tracks one label's blocks for goto and labeled branches.
+type labelInfo struct {
+	target *Block // the labeled statement's entry (goto / continue re-resolve)
+	brk    *Block // break target, set when the labeled stmt is a loop/switch
+	cont   *Block // continue target, loops only
+}
+
+// builder threads the construction state.
+type builder struct {
+	g *Graph
+	// breaks and continues are the innermost enclosing targets.
+	breaks    []*Block
+	continues []*Block
+	labels    map[string]*labelInfo
+	// pendingLabel is the label naming the next loop/switch statement.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge connects from → to. A nil from (dead code after a terminator)
+// adds nothing.
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmtList threads a statement sequence through cur, returning the
+// block live at the end (nil when control cannot fall through).
+func (b *builder) stmtList(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// deadBlock returns a fresh block for statements after a terminator;
+// it has no predecessors, so analyses starting at Entry never see it.
+func (b *builder) liveOr(cur *Block) *Block {
+	if cur != nil {
+		return cur
+	}
+	return b.newBlock()
+}
+
+// stmt adds one statement to the graph with cur as the incoming block,
+// returning the fall-through block (nil if the statement terminates).
+func (b *builder) stmt(cur *Block, s ast.Stmt) *Block {
+	cur = b.liveOr(cur)
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.edge(cur, b.g.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		return b.branch(cur, s)
+
+	case *ast.LabeledStmt:
+		// The labeled statement starts its own block so goto can land on
+		// it; the loop/switch cases below fill in break/continue targets
+		// via pendingLabel. A forward goto may have created the landing
+		// block already — adopt it rather than orphaning its edge.
+		info := b.labelFor(s.Label.Name)
+		start := info.target
+		if start == nil {
+			start = b.newBlock()
+			info.target = start
+		}
+		b.edge(cur, start)
+		b.pendingLabel = s.Label.Name
+		return b.stmt(start, s.Stmt)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		after := b.newBlock()
+		thenEntry := b.newBlock()
+		b.edge(cur, thenEntry)
+		thenEnd := b.stmtList(thenEntry, s.Body.List)
+		b.edge(thenEnd, after)
+		if s.Else != nil {
+			elseEntry := b.newBlock()
+			b.edge(cur, elseEntry)
+			b.edge(b.stmt(elseEntry, s.Else), after)
+		} else {
+			b.edge(cur, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		after := b.newBlock()
+		post := b.newBlock()
+		if s.Post != nil {
+			post.Nodes = append(post.Nodes, s.Post)
+		}
+		b.edge(post, head)
+		if s.Cond != nil {
+			b.edge(head, after) // condition false
+		}
+		b.setLabelTargets(label, after, post)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.pushLoop(after, post)
+		b.edge(b.stmtList(body, s.Body.List), post)
+		b.popLoop()
+		return after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		// The RangeStmt itself is the head node: it models both the
+		// evaluation of the range expression and the per-iteration
+		// assignment of Key/Value (which matters to analyses tracking
+		// variable redefinition across iterations).
+		head := b.newBlock()
+		head.Nodes = append(head.Nodes, s)
+		b.edge(cur, head)
+		after := b.newBlock()
+		b.edge(head, after) // range exhausted
+		b.setLabelTargets(label, after, head)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.pushLoop(after, head)
+		b.edge(b.stmtList(body, s.Body.List), head)
+		b.popLoop()
+		return after
+
+	case *ast.SwitchStmt:
+		return b.switchStmt(cur, s.Init, s.Tag, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		return b.switchStmt(cur, s.Init, nil, s.Body, s.Assign)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		after := b.newBlock()
+		b.setLabelTargets(label, after, nil)
+		b.pushLoop(after, nil) // break inside select targets after
+		hasDefault := false
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			entry := b.newBlock()
+			if comm.Comm != nil {
+				entry.Nodes = append(entry.Nodes, comm.Comm)
+			} else {
+				hasDefault = true
+			}
+			b.edge(cur, entry)
+			b.edge(b.stmtList(entry, comm.Body), after)
+		}
+		b.popLoop()
+		_ = hasDefault // a select blocks until a case fires; no edge past it
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever.
+			return nil
+		}
+		return after
+
+	case *ast.BlockStmt:
+		return b.stmtList(cur, s.List)
+
+	case *ast.ExprStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		if isPanic(s.X) {
+			return nil // panicking paths are not return paths
+		}
+		return cur
+
+	case *ast.GoStmt, *ast.DeferStmt, *ast.SendStmt, *ast.IncDecStmt,
+		*ast.AssignStmt, *ast.DeclStmt, *ast.EmptyStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+
+	default:
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// switchStmt builds expression and type switches: init/tag/assign nodes
+// in the incoming block, one entry block per case, fallthrough wiring,
+// and an implicit edge past the switch when no default exists.
+func (b *builder) switchStmt(cur *Block, init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, extra ...ast.Stmt) *Block {
+	label := b.takeLabel()
+	if init != nil {
+		cur.Nodes = append(cur.Nodes, init)
+	}
+	if tag != nil {
+		cur.Nodes = append(cur.Nodes, tag)
+	}
+	for _, e := range extra {
+		cur.Nodes = append(cur.Nodes, e)
+	}
+	after := b.newBlock()
+	b.setLabelTargets(label, after, nil)
+	b.pushLoop(after, nil) // break inside the switch targets after
+	hasDefault := false
+	// Build case bodies first so fallthrough can edge into the next
+	// case's body block.
+	var bodies []*Block
+	var clauses []*ast.CaseClause
+	for _, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		clauses = append(clauses, cc)
+		bodies = append(bodies, b.newBlock())
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	for i, cc := range clauses {
+		entry := bodies[i]
+		for _, e := range cc.List {
+			entry.Nodes = append(entry.Nodes, e)
+		}
+		b.edge(cur, entry)
+		var next *Block // fallthrough target
+		if i+1 < len(bodies) {
+			next = bodies[i+1]
+		}
+		end := b.caseBody(entry, cc.Body, next)
+		b.edge(end, after)
+	}
+	b.popLoop()
+	if !hasDefault {
+		b.edge(cur, after)
+	}
+	return after
+}
+
+// caseBody threads one case clause's statements, wiring a trailing
+// fallthrough to the next case's body block.
+func (b *builder) caseBody(entry *Block, stmts []ast.Stmt, next *Block) *Block {
+	cur := entry
+	for _, s := range stmts {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+			b.edge(b.liveOr(cur), next)
+			return nil
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// branch wires break, continue and goto.
+func (b *builder) branch(cur *Block, s *ast.BranchStmt) *Block {
+	cur.Nodes = append(cur.Nodes, s)
+	switch s.Tok.String() {
+	case "break":
+		if s.Label != nil {
+			b.edge(cur, b.labelFor(s.Label.Name).brk)
+		} else if n := len(b.breaks); n > 0 {
+			b.edge(cur, b.breaks[n-1])
+		}
+	case "continue":
+		if s.Label != nil {
+			b.edge(cur, b.labelFor(s.Label.Name).cont)
+		} else {
+			// The innermost loop's continue target (switch/select push nil).
+			for i := len(b.continues) - 1; i >= 0; i-- {
+				if b.continues[i] != nil {
+					b.edge(cur, b.continues[i])
+					break
+				}
+			}
+		}
+	case "goto":
+		if s.Label != nil {
+			info := b.labelFor(s.Label.Name)
+			if info.target == nil {
+				// Forward goto: create the landing block now; LabeledStmt
+				// will adopt it.
+				info.target = b.newBlock()
+			}
+			b.edge(cur, info.target)
+		}
+	}
+	return nil
+}
+
+func (b *builder) labelFor(name string) *labelInfo {
+	info := b.labels[name]
+	if info == nil {
+		info = &labelInfo{}
+		b.labels[name] = info
+	}
+	return info
+}
+
+// takeLabel consumes the pending label (set when this statement is the
+// body of a LabeledStmt).
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// setLabelTargets records the break/continue targets of a labeled
+// loop/switch.
+func (b *builder) setLabelTargets(label string, brk, cont *Block) {
+	if label == "" {
+		return
+	}
+	info := b.labelFor(label)
+	info.brk = brk
+	info.cont = cont
+}
+
+func (b *builder) pushLoop(brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// isPanic reports whether an expression is a direct call to the
+// built-in panic.
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

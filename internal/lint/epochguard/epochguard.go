@@ -1,0 +1,302 @@
+// Package epochguard defines the flow-aware medusalint analyzer for
+// the pooled-state invalidation discipline: event handlers that pop an
+// event carrying a pointer into free-listed state (instState, and any
+// future pooled struct with an epoch field) must compare the state's
+// epoch against the event's epoch before mutating it. A stale event —
+// one enqueued against a prior occupancy of the recycled slot — would
+// otherwise corrupt whatever request or instance now owns the slot.
+// The runtime counterpart is the stale-event property test over
+// epoch-bumped recycling; this is its static mirror.
+//
+// Shape matching is structural, not name-based: an event type is any
+// struct with an `epoch` field plus at least one field whose type is a
+// pointer to a struct that also has an `epoch` field (the pooled
+// payload). reqState carries no epoch, so `ev.req` is naturally
+// exempt. For each (event variable, pooled field) pair the analyzer
+// tracks the selector `ev.f` and simple aliases `x := ev.f`, then asks
+// the path-sensitive query: is any MUTATION of the pooled state (an
+// assignment or ++/-- through the selector or an alias) reachable from
+// function entry on some path that has not passed an epoch GUARD (a
+// == or != comparison between the group's .epoch and the event's
+// .epoch)? Guards kill the path regardless of comparison direction —
+// the invariant is "a comparison dominates the mutation", branch
+// polarity is the handler's business.
+//
+// Reads are deliberately not flagged (logging a stale event's payload
+// is harmless); mutations through function calls are outside the
+// intraprocedural pass and covered by the runtime tests.
+package epochguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/medusa-repro/medusa/internal/lint/analysis"
+	"github.com/medusa-repro/medusa/internal/lint/analysis/cfg"
+	"github.com/medusa-repro/medusa/internal/lint/analysis/pairing"
+	"github.com/medusa-repro/medusa/internal/lint/lintutil"
+)
+
+// Analyzer is the epochguard pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "epochguard",
+	Doc:  "compare epochs before mutating pooled state reached through an event",
+	Run:  run,
+}
+
+// structOf unwraps pointers and named types to a struct, or nil.
+func structOf(t types.Type) *types.Struct {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	s, _ := t.Underlying().(*types.Struct)
+	return s
+}
+
+// hasEpochField reports whether the struct has a field named epoch
+// (any integer-ish type will do; the name is the contract).
+func hasEpochField(s *types.Struct) bool {
+	if s == nil {
+		return false
+	}
+	for i := 0; i < s.NumFields(); i++ {
+		if s.Field(i).Name() == "epoch" {
+			return true
+		}
+	}
+	return false
+}
+
+// pooledFields returns the names of t's fields that point to structs
+// carrying their own epoch — the free-listed payloads. Empty when t is
+// not an event type (no epoch of its own, or no pooled payloads).
+func pooledFields(t types.Type) []string {
+	s := structOf(t)
+	if !hasEpochField(s) {
+		return nil
+	}
+	var fields []string
+	for i := 0; i < s.NumFields(); i++ {
+		f := s.Field(i)
+		if f.Name() == "epoch" {
+			continue
+		}
+		if p, ok := f.Type().Underlying().(*types.Pointer); ok && hasEpochField(structOf(p.Elem())) {
+			fields = append(fields, f.Name())
+		}
+	}
+	return fields
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || lintutil.IsTestFile(pass.Fset, fd.Pos()) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// varObj resolves an identifier to its *types.Var, through either a
+// use or a definition.
+func varObj(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Defs[id].(*types.Var)
+	return v
+}
+
+// group is one (event variable, pooled field) tracking unit.
+type group struct {
+	ev      *types.Var
+	field   string
+	aliases map[*types.Var]bool
+}
+
+// selectsPooled reports whether e is the selector `ev.field` for g.
+func (g *group) selectsPooled(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != g.field {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && varObj(info, id) == g.ev
+}
+
+// rootsInGroup reports whether expression e dereferences the pooled
+// state: its base is an alias variable or the `ev.field` selector.
+func (g *group) rootsInGroup(info *types.Info, e ast.Expr) bool {
+	for {
+		e = ast.Unparen(e)
+		if g.selectsPooled(info, e) {
+			return true
+		}
+		switch x := e.(type) {
+		case *ast.Ident:
+			return g.aliases[varObj(info, x)]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// epochOfGroup reports whether e is `A.epoch` with A in the group.
+func (g *group) epochOfGroup(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "epoch" && g.rootsInGroup(info, sel.X)
+}
+
+// epochOfEvent reports whether e is `ev.epoch`.
+func (g *group) epochOfEvent(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "epoch" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && varObj(info, id) == g.ev
+}
+
+// guardIn reports whether node n contains an epoch comparison between
+// the event and the pooled group, in either operand order.
+func (g *group) guardIn(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		be, ok := m.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if (g.epochOfEvent(info, be.X) && g.epochOfGroup(info, be.Y)) ||
+			(g.epochOfEvent(info, be.Y) && g.epochOfGroup(info, be.X)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// mutationIn returns the position of a mutation of the pooled state in
+// node n, or token.NoPos: an assignment or ++/-- whose left-hand side
+// dereferences the group (not a rebinding of the bare alias itself).
+func (g *group) mutationIn(info *types.Info, n ast.Node) token.Pos {
+	switch stmt := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range stmt.Lhs {
+			if _, bare := ast.Unparen(lhs).(*ast.Ident); bare {
+				continue // rebinding the alias variable, not the pooled state
+			}
+			if g.rootsInGroup(info, lhs) {
+				return lhs.Pos()
+			}
+		}
+	case *ast.IncDecStmt:
+		if g.rootsInGroup(info, stmt.X) {
+			return stmt.X.Pos()
+		}
+	}
+	return token.NoPos
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Discover event variables and their pooled fields.
+	groups := map[*types.Var][]*group{} // event var -> one group per pooled field
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v := varObj(info, id)
+		if v == nil {
+			return true
+		}
+		if _, seen := groups[v]; seen {
+			return true
+		}
+		fields := pooledFields(v.Type())
+		if len(fields) == 0 {
+			return true
+		}
+		gs := make([]*group, 0, len(fields))
+		for _, f := range fields {
+			gs = append(gs, &group{ev: v, field: f, aliases: map[*types.Var]bool{}})
+		}
+		groups[v] = gs
+		return true
+	})
+	if len(groups) == 0 {
+		return
+	}
+
+	// Collect simple aliases: x := ev.f (or x = ev.f).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.AssignStmt)
+		if !ok || len(stmt.Lhs) != len(stmt.Rhs) {
+			return true
+		}
+		for i, rhs := range stmt.Rhs {
+			id, ok := ast.Unparen(stmt.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v := varObj(info, id)
+			if v == nil {
+				continue
+			}
+			for _, gs := range groups {
+				for _, g := range gs {
+					if g.selectsPooled(info, rhs) {
+						g.aliases[v] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	var g *cfg.Graph // built lazily: most functions with event vars never mutate
+	for _, gs := range groups {
+		for _, grp := range gs {
+			grp := grp
+			classify := func(n ast.Node) pairing.Class {
+				if grp.guardIn(info, n) {
+					return pairing.ClassKill
+				}
+				if grp.mutationIn(info, n) != token.NoPos {
+					return pairing.ClassUse
+				}
+				return pairing.ClassNone
+			}
+			// Cheap pre-scan: skip the CFG when nothing mutates.
+			mutates := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if grp.mutationIn(info, n) != token.NoPos {
+					mutates = true
+				}
+				return !mutates
+			})
+			if !mutates {
+				continue
+			}
+			if g == nil {
+				g = cfg.New(fd.Body)
+			}
+			for _, use := range pairing.Unkilled(g, pairing.Entry(g), classify) {
+				pass.Reportf(grp.mutationIn(info, use), "mutation of pooled state %s.%s without an epoch guard on some path: a stale event may touch recycled state (compare .epoch against %s.epoch first, pooled-state invalidation)", grp.ev.Name(), grp.field, grp.ev.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package epochguard_test
+
+import (
+	"testing"
+
+	"github.com/medusa-repro/medusa/internal/lint/analysistest"
+	"github.com/medusa-repro/medusa/internal/lint/epochguard"
+)
+
+func TestEpochGuard(t *testing.T) {
+	analysistest.Run(t, epochguard.Analyzer, "epochguard")
+}

@@ -1,0 +1,132 @@
+// Package epochguard's testdata mirrors the simulator core's pooled
+// event shape: event carries an epoch plus pointers into free-listed
+// state (instState has its own epoch; reqState does not, so it is not
+// a pooled payload and needs no guard).
+package epochguard
+
+// instState mimics the free-listed instance state: recycled slots bump
+// epoch so stale events can be detected.
+type instState struct {
+	epoch   uint64
+	idle    bool
+	pending int
+}
+
+// reqState mimics request state: free-listed but not epoch-stamped
+// (requests never outlive their events in the testdata world).
+type reqState struct {
+	tokens int
+}
+
+// event mimics the simulator event record.
+type event struct {
+	kind  int
+	epoch uint64
+	inst  *instState
+	req   *reqState
+}
+
+type sim struct {
+	queue []event
+}
+
+func (s *sim) pop() event { return s.queue[0] }
+func observe(x any)       {}
+
+// GoodGuardedAlias is the canonical handler shape: alias, guard,
+// mutate.
+func (s *sim) GoodGuardedAlias() {
+	ev := s.pop()
+	inst := ev.inst
+	if inst.epoch != ev.epoch {
+		return
+	}
+	inst.idle = true
+	inst.pending--
+}
+
+// GoodGuardedSelector guards and mutates through the selector without
+// an alias.
+func (s *sim) GoodGuardedSelector() {
+	ev := s.pop()
+	if ev.inst.epoch != ev.epoch {
+		return
+	}
+	ev.inst.pending++
+}
+
+// GoodGuardBothArms guards on every path to the mutation.
+func (s *sim) GoodGuardBothArms(fast bool) {
+	ev := s.pop()
+	inst := ev.inst
+	if fast {
+		if inst.epoch != ev.epoch {
+			return
+		}
+	} else {
+		if ev.epoch != inst.epoch {
+			return
+		}
+	}
+	inst.idle = false
+}
+
+// GoodReadOnly only reads the pooled state: logging a stale payload is
+// harmless, no guard required.
+func (s *sim) GoodReadOnly() {
+	ev := s.pop()
+	observe(ev.inst.pending)
+}
+
+// GoodReqNoEpoch mutates reqState, which carries no epoch: not a
+// pooled payload, nothing to guard.
+func (s *sim) GoodReqNoEpoch() {
+	ev := s.pop()
+	ev.req.tokens++
+}
+
+// BadUnguardedAlias mutates recycled state with no comparison at all.
+func (s *sim) BadUnguardedAlias() {
+	ev := s.pop()
+	inst := ev.inst
+	inst.idle = true // want `mutation of pooled state ev.inst without an epoch guard`
+}
+
+// BadMutateBeforeGuard guards too late: the first mutation already
+// landed on a possibly-recycled slot.
+func (s *sim) BadMutateBeforeGuard() {
+	ev := s.pop()
+	inst := ev.inst
+	inst.pending-- // want `mutation of pooled state ev.inst without an epoch guard`
+	if inst.epoch != ev.epoch {
+		return
+	}
+	inst.idle = true
+}
+
+// BadGuardOneArmOnly guards only the fast path; the slow path reaches
+// the mutation unguarded.
+func (s *sim) BadGuardOneArmOnly(fast bool) {
+	ev := s.pop()
+	inst := ev.inst
+	if fast {
+		if inst.epoch != ev.epoch {
+			return
+		}
+	}
+	inst.idle = false // want `mutation of pooled state ev.inst without an epoch guard`
+}
+
+// BadSelectorUnguarded mutates through the selector with no guard.
+func (s *sim) BadSelectorUnguarded() {
+	ev := s.pop()
+	ev.inst.pending++ // want `mutation of pooled state ev.inst without an epoch guard`
+}
+
+// AllowedCreationSite demonstrates the escape hatch: the handler that
+// just installed the instance into the slot knows the event cannot be
+// stale.
+func (s *sim) AllowedCreationSite() {
+	ev := s.pop()
+	ev.inst.epoch = ev.epoch //medusalint:allow epochguard(creation handler: the event was enqueued in the same step that installed this instance, staleness is impossible)
+}

@@ -1,0 +1,12 @@
+package kvpair_test
+
+import (
+	"testing"
+
+	"github.com/medusa-repro/medusa/internal/lint/analysistest"
+	"github.com/medusa-repro/medusa/internal/lint/kvpair"
+)
+
+func TestKVPair(t *testing.T) {
+	analysistest.Run(t, kvpair.Analyzer, "kvpair")
+}

@@ -1,0 +1,110 @@
+// Package kvpair's testdata mirrors the kvcache.Manager reservation
+// API by shape: Reserve opens a speculative allocation that Commit
+// publishes or Rollback abandons. Queue mimics eventq.Queue.Reserve
+// (capacity pre-sizing) and must NOT be matched.
+package kvpair
+
+// Manager mimics kvcache.Manager: Reserve/Commit/Rollback triple.
+type Manager struct{}
+
+func (m *Manager) Reserve(id string, n int) error { return nil }
+func (m *Manager) Commit()                        {}
+func (m *Manager) Rollback()                      {}
+
+// Queue mimics eventq.Queue: Reserve alone, no transaction to pair.
+type Queue struct{}
+
+func (q *Queue) Reserve(n int) {}
+
+func cond() bool { return false }
+func work()      {}
+
+// GoodPairedBothBranches pairs the reservation on every path: the
+// error branch rolls back, the success path commits.
+func GoodPairedBothBranches(m *Manager) error {
+	if err := m.Reserve("r1", 4); err != nil {
+		m.Rollback()
+		return err
+	}
+	m.Commit()
+	return nil
+}
+
+// GoodDeferRollback registers the rollback before any branching; every
+// downstream return is paired by the defer.
+func GoodDeferRollback(m *Manager) error {
+	err := m.Reserve("r2", 4)
+	defer m.Rollback()
+	if err != nil {
+		return err
+	}
+	if cond() {
+		return nil
+	}
+	work()
+	return nil
+}
+
+// GoodLoopPaired reserves per iteration and pairs before both the
+// continue back edge and the fallthrough to the next iteration.
+func GoodLoopPaired(m *Manager, ids []string) {
+	for _, id := range ids {
+		if err := m.Reserve(id, 1); err != nil {
+			m.Rollback()
+			continue
+		}
+		m.Commit()
+	}
+}
+
+// GoodPanicPath never returns after the reservation; panic paths are
+// not returns, so nothing escapes.
+func GoodPanicPath(m *Manager) {
+	if err := m.Reserve("r3", 2); err != nil {
+		m.Rollback()
+		panic("reserve failed")
+	}
+	m.Commit()
+}
+
+// GoodQueueReserve is capacity pre-sizing, not a transaction: the
+// duck-typed match requires Commit and Rollback on the receiver.
+func GoodQueueReserve(q *Queue) {
+	q.Reserve(1024)
+}
+
+// BadNoPairing never commits or rolls back.
+func BadNoPairing(m *Manager) error {
+	if err := m.Reserve("r4", 4); err != nil { // want `Reserve can reach return without Commit or Rollback`
+		return err
+	}
+	work()
+	return nil
+}
+
+// BadErrorBranchLeaks pairs the success path but returns the error
+// with the reservation still open.
+func BadErrorBranchLeaks(m *Manager) error {
+	if err := m.Reserve("r5", 4); err != nil { // want `Reserve can reach return without Commit or Rollback`
+		return err
+	}
+	m.Commit()
+	return nil
+}
+
+// BadBreakLeaks escapes the loop between Reserve and Commit.
+func BadBreakLeaks(m *Manager, ids []string) {
+	for _, id := range ids {
+		if err := m.Reserve(id, 1); err != nil { // want `Reserve can reach return without Commit or Rollback`
+			break
+		}
+		m.Commit()
+	}
+}
+
+// AllowedHandoff demonstrates the escape hatch for deliberate
+// cross-function handoff, which the intraprocedural pass cannot see.
+func AllowedHandoff(m *Manager) error {
+	err := m.Reserve("r6", 8) //medusalint:allow kvpair(reservation ownership transfers to the caller, which commits after planning)
+	return err
+}

@@ -1,0 +1,309 @@
+// Package poolescape defines the flow-aware medusalint analyzer for
+// the free-list discipline: once a pointer to pooled state (reqState,
+// instState, and any future free-listed struct) has been handed back
+// to the pool, the local variable that held it is dead — reading it,
+// mutating it, storing it into a longer-lived structure, passing it
+// on, or freeing it again all touch a slot the pool may already have
+// recycled for an unrelated request. The runtime counterpart is the
+// recycled-slot corruption a stale pointer causes under the fixed-seed
+// byte-identity tests; this is its static mirror.
+//
+// Freeing functions are matched two ways:
+//
+//   - by name: a declared function or method matching free[A-Z]* or
+//     recycle* whose pointer-to-struct parameters are the freed slots
+//     (freeReq, freeInst, recycle);
+//   - by package-local fixpoint: a function that passes one of its own
+//     pointer parameters to a known freeing function transitively
+//     frees that parameter too (retire calling freeInst).
+//
+// At each call site that frees a local variable, the exists-path query
+// collects every later use of that variable not preceded by a full
+// reassignment. A range-loop head re-binding the variable kills the
+// path (the next iteration's pointer is a fresh one), as does `v =
+// nil` or any other whole-variable reassignment. Uses through other
+// aliases are outside the intraprocedural pass.
+package poolescape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"github.com/medusa-repro/medusa/internal/lint/analysis"
+	"github.com/medusa-repro/medusa/internal/lint/analysis/cfg"
+	"github.com/medusa-repro/medusa/internal/lint/analysis/pairing"
+	"github.com/medusa-repro/medusa/internal/lint/lintutil"
+)
+
+// Analyzer is the poolescape pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolescape",
+	Doc:  "no use of a pooled pointer after it returns to the free list",
+	Run:  run,
+}
+
+// freeName matches the naming convention for pool-returning functions.
+var freeName = regexp.MustCompile(`^(free[A-Z]\w*|recycle\w*)$`)
+
+// isPtrToStruct reports whether t is a pointer to a struct type.
+func isPtrToStruct(t types.Type) bool {
+	p, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	_, ok = p.Elem().Underlying().(*types.Struct)
+	return ok
+}
+
+// freedParams returns the indices of fn's pointer-to-struct parameters
+// — the slots a freeing function returns to the pool.
+func freedParams(fn *types.Func) []int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var idx []int
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isPtrToStruct(sig.Params().At(i).Type()) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+
+	// Seed: name-matched freeing functions declared in this package.
+	freeing := map[*types.Func]map[int]bool{} // fn -> freed param indices
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := lintutil.FuncObj(info, fd)
+			if fn == nil {
+				continue
+			}
+			decls[fn] = fd
+			if freeName.MatchString(fn.Name()) {
+				set := map[int]bool{}
+				for _, i := range freedParams(fn) {
+					set[i] = true
+				}
+				if len(set) > 0 {
+					freeing[fn] = set
+				}
+			}
+		}
+	}
+
+	// Fixpoint: a function forwarding its own pointer parameter to a
+	// known freeing function frees that parameter too.
+	paramIndex := func(fn *types.Func, v *types.Var) int {
+		sig := fn.Type().(*types.Signature)
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i) == v {
+				return i
+			}
+		}
+		return -1
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := lintutil.Callee(info, call)
+				freed, ok := freeing[callee]
+				if !ok {
+					return true
+				}
+				for argIdx := range freed {
+					if argIdx >= len(call.Args) {
+						continue
+					}
+					id, ok := ast.Unparen(call.Args[argIdx]).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					v, _ := info.Uses[id].(*types.Var)
+					if v == nil {
+						continue
+					}
+					if pi := paramIndex(fn, v); pi >= 0 && !freeing[fn][pi] {
+						if freeing[fn] == nil {
+							freeing[fn] = map[int]bool{}
+						}
+						freeing[fn][pi] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for fn, fd := range decls {
+		if lintutil.IsTestFile(pass.Fset, fd.Pos()) {
+			continue
+		}
+		checkFunc(pass, fd, fn, freeing)
+	}
+	return nil, nil
+}
+
+// checkFunc scans one function for frees of local variables and flags
+// path-reachable uses after each.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, fn *types.Func, freeing map[*types.Func]map[int]bool) {
+	info := pass.TypesInfo
+	type site struct {
+		call *ast.CallExpr
+		v    *types.Var
+		name string // callee name, for the diagnostic
+	}
+	var sites []site
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate flow
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := lintutil.Callee(info, call)
+		freed, ok := freeing[callee]
+		if !ok {
+			return true
+		}
+		for argIdx := range freed {
+			if argIdx >= len(call.Args) {
+				continue
+			}
+			id, ok := ast.Unparen(call.Args[argIdx]).(*ast.Ident)
+			if !ok {
+				continue // field/index expressions are other owners' pointers
+			}
+			if v, _ := info.Uses[id].(*types.Var); v != nil {
+				sites = append(sites, site{call, v, callee.Name()})
+			}
+		}
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+
+	// A freeing function's own body legitimately touches the dead slot
+	// while clearing it: only the explicit inner free-call transfer is
+	// checked there, and that is exactly what the call-site collection
+	// above already covers for wrappers, so skip seed-named bodies.
+	if freeName.MatchString(fn.Name()) {
+		return
+	}
+
+	g := cfg.New(fd.Body)
+	for _, s := range sites {
+		start, ok := pairing.Find(g, s.call)
+		if !ok {
+			continue // dead code
+		}
+		uses := pairing.Unkilled(g, start, classifier(info, s.v))
+		for _, use := range uses {
+			pass.Reportf(identPos(info, use, s.v), "use of %s after %s returned it to the free list on some path: the slot may already be recycled (nil or reassign the pointer first, free-list discipline)", s.v.Name(), s.name)
+		}
+	}
+}
+
+// classifier builds the per-node Class function for freed variable v.
+// Whole-variable reassignment (bare LHS, range-head re-binding, v =
+// nil) kills the path; any other appearance of v is a use.
+func classifier(info *types.Info, v *types.Var) func(ast.Node) pairing.Class {
+	return func(n ast.Node) pairing.Class {
+		// Idents of v in non-reassignment position anywhere under n.
+		reassigned := false
+		used := false
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			lhs := map[*ast.Ident]bool{}
+			for _, l := range stmt.Lhs {
+				if id, ok := ast.Unparen(l).(*ast.Ident); ok && varOf(info, id) == v {
+					lhs[id] = true
+					reassigned = true
+				}
+			}
+			ast.Inspect(n, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && varOf(info, id) == v && !lhs[id] {
+					used = true
+				}
+				return true
+			})
+		case *ast.RangeStmt:
+			for _, x := range []ast.Expr{stmt.Key, stmt.Value} {
+				if id, ok := x.(*ast.Ident); ok && varOf(info, id) == v {
+					reassigned = true
+				}
+			}
+			if !reassigned {
+				// The head only evaluates the range operand; body
+				// statements are their own nodes.
+				ast.Inspect(stmt.X, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && varOf(info, id) == v {
+						used = true
+					}
+					return true
+				})
+			}
+		default:
+			// Any appearance of v — including a capture inside a
+			// closure, which is itself an escape of the dead pointer.
+			ast.Inspect(n, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && varOf(info, id) == v {
+					used = true
+				}
+				return true
+			})
+		}
+		if used {
+			return pairing.ClassUse
+		}
+		if reassigned {
+			return pairing.ClassKill
+		}
+		return pairing.ClassNone
+	}
+}
+
+// varOf resolves an identifier to the *types.Var it uses or defines.
+func varOf(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Defs[id].(*types.Var)
+	return v
+}
+
+// identPos returns the position of the first identifier of v under n,
+// anchoring the diagnostic on the variable rather than the statement.
+func identPos(info *types.Info, n ast.Node, v *types.Var) token.Pos {
+	pos := n.Pos()
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && varOf(info, id) == v {
+			pos = id.Pos()
+			found = true
+		}
+		return true
+	})
+	return pos
+}

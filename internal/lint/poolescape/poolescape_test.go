@@ -1,0 +1,12 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"github.com/medusa-repro/medusa/internal/lint/analysistest"
+	"github.com/medusa-repro/medusa/internal/lint/poolescape"
+)
+
+func TestPoolEscape(t *testing.T) {
+	analysistest.Run(t, poolescape.Analyzer, "poolescape")
+}

@@ -1,0 +1,137 @@
+// Package poolescape's testdata mirrors the simulator core's
+// free-list shape: reqState/instState are pooled, freeReq/freeInst
+// return slots to the pool, retire is a wrapper the fixpoint must
+// discover, and recycle matches the second naming convention.
+package poolescape
+
+// reqState mimics the free-listed request state.
+type reqState struct {
+	id     int
+	tokens int
+}
+
+// instState mimics the free-listed instance state.
+type instState struct {
+	epoch uint64
+	idle  bool
+}
+
+type sim struct {
+	reqFree  []*reqState
+	instFree []*instState
+	parked   *reqState
+}
+
+func (s *sim) freeReq(r *reqState) {
+	r.id = 0
+	r.tokens = 0
+	s.reqFree = append(s.reqFree, r)
+}
+
+func (s *sim) freeInst(inst *instState) {
+	inst.epoch++
+	inst.idle = false
+	s.instFree = append(s.instFree, inst)
+}
+
+// retire drains an instance and frees it: the package-local fixpoint
+// marks it as freeing its parameter.
+func (s *sim) retire(inst *instState) {
+	inst.idle = false
+	s.freeInst(inst)
+}
+
+// recycle matches the second freeing naming convention.
+func recycle(r *reqState) {}
+
+func observe(x any)    {}
+func keep(r *reqState) {}
+
+// GoodFreeLast frees as the final touch.
+func (s *sim) GoodFreeLast(r *reqState) {
+	observe(r.id)
+	s.freeReq(r)
+}
+
+// GoodLoopPerIteration frees each element; the range head re-binds the
+// variable before the next iteration uses it.
+func (s *sim) GoodLoopPerIteration(batch []*reqState) {
+	for _, r := range batch {
+		observe(r.id)
+		s.freeReq(r)
+	}
+}
+
+// GoodNilAfterFree clears the pointer before later code runs.
+func (s *sim) GoodNilAfterFree(r *reqState) {
+	s.freeReq(r)
+	r = nil
+	observe(r)
+}
+
+// GoodReassign replaces the dead pointer with a live one.
+func (s *sim) GoodReassign(r *reqState, fresh *reqState) {
+	s.freeReq(r)
+	r = fresh
+	r.tokens++
+}
+
+// BadReadAfterFree reads a freed slot.
+func (s *sim) BadReadAfterFree(r *reqState) int {
+	s.freeReq(r)
+	return r.tokens // want `use of r after freeReq returned it to the free list`
+}
+
+// BadMutateAfterFree writes into a freed slot.
+func (s *sim) BadMutateAfterFree(r *reqState) {
+	s.freeReq(r)
+	r.tokens = 7 // want `use of r after freeReq returned it to the free list`
+}
+
+// BadStoreAfterFree parks the dead pointer in a longer-lived
+// structure.
+func (s *sim) BadStoreAfterFree(r *reqState) {
+	s.freeReq(r)
+	s.parked = r // want `use of r after freeReq returned it to the free list`
+}
+
+// BadPassAfterFree hands the dead pointer to another function.
+func (s *sim) BadPassAfterFree(r *reqState) {
+	s.freeReq(r)
+	keep(r) // want `use of r after freeReq returned it to the free list`
+}
+
+// BadDoubleFree frees the same slot twice.
+func (s *sim) BadDoubleFree(r *reqState) {
+	s.freeReq(r)
+	s.freeReq(r) // want `use of r after freeReq returned it to the free list`
+}
+
+// BadWrapperFree uses the pointer after the transitively-freeing
+// wrapper: the fixpoint sees retire -> freeInst.
+func (s *sim) BadWrapperFree(inst *instState) {
+	s.retire(inst)
+	observe(inst.idle) // want `use of inst after retire returned it to the free list`
+}
+
+// BadRecycleConvention covers the recycle* naming convention.
+func BadRecycleConvention(r *reqState) {
+	recycle(r)
+	observe(r.id) // want `use of r after recycle returned it to the free list`
+}
+
+// BadFreeOneBranch frees on one branch and uses after the join: the
+// exists-path query flags the freeing path.
+func (s *sim) BadFreeOneBranch(r *reqState, drop bool) {
+	if drop {
+		s.freeReq(r)
+	}
+	observe(r.tokens) // want `use of r after freeReq returned it to the free list`
+}
+
+// AllowedDebugPeek demonstrates the escape hatch for diagnostics that
+// deliberately inspect a just-freed slot.
+func (s *sim) AllowedDebugPeek(r *reqState) {
+	s.freeReq(r)
+	observe(r.id) //medusalint:allow poolescape(debug counter reads the cleared slot before any other event can reallocate it; single-threaded step)
+}

@@ -1,0 +1,247 @@
+// Package spanpair defines the flow-aware medusalint analyzer that
+// checks obs span pairing: every span begun (Tracer.StartSpan or
+// Span.Child) and bound to a local variable must reach a matching
+// End on ALL return paths. An un-Ended span never reaches RecordSpan,
+// so its phase silently vanishes from the drift-free phase tables the
+// obs tiling invariant guarantees — the runtime counterpart is the
+// span-accounting property test; this is its static mirror.
+//
+// Matching is duck-typed: a begin is a call to a method named
+// StartSpan or Child whose result is a pointer to a type declaring an
+// End method. Pairing is an exists-path CFG query starting just after
+// the begin statement. A path is killed (considered paired) when it
+// passes a node that either
+//
+//   - calls End on the span variable (including inside a defer, which
+//     pairs every downstream return), or
+//   - transfers ownership: the variable is returned, passed as an
+//     argument, stored into a structure, aliased, or captured by a
+//     function literal. Whoever receives the span owns its End; the
+//     pass stays intraprocedural, exactly like lostcancel.
+//
+// Begins whose result is discarded outright are reported immediately
+// (nothing can ever End them); begins stored directly into fields are
+// skipped as transfers. Method chaining (Tag/Attr return the span for
+// fluency) is transparent: a receiver-position use neither kills nor
+// escapes.
+package spanpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/medusa-repro/medusa/internal/lint/analysis"
+	"github.com/medusa-repro/medusa/internal/lint/analysis/cfg"
+	"github.com/medusa-repro/medusa/internal/lint/analysis/pairing"
+	"github.com/medusa-repro/medusa/internal/lint/lintutil"
+)
+
+// Analyzer is the spanpair pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanpair",
+	Doc:  "every obs span begun must be Ended (or ownership-transferred) on all return paths",
+	Run:  run,
+}
+
+// spanBegin reports whether call begins a span: callee named StartSpan
+// or Child returning a pointer to a type with an End method.
+func spanBegin(info *types.Info, call *ast.CallExpr) bool {
+	fn := lintutil.Callee(info, call)
+	if fn == nil || (fn.Name() != "StartSpan" && fn.Name() != "Child") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	ptr, ok := sig.Results().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "End" {
+			return true
+		}
+	}
+	return false
+}
+
+// containsEndCall reports whether any call named End appears under n —
+// the inline-chained `tr.StartSpan(...).End(t)` form is self-paired.
+func containsEndCall(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || lintutil.IsTestFile(pass.Fset, fd.Pos()) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// site is one tracked span begin: the call and the variable bound.
+type site struct {
+	call *ast.CallExpr
+	v    *types.Var // nil: result discarded
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var sites []site
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.FuncLit:
+			return false // separate flow; a begin inside a closure pairs within it
+		case *ast.AssignStmt:
+			if len(stmt.Lhs) != 1 || len(stmt.Rhs) != 1 {
+				return true
+			}
+			call := chainRoot(info, stmt.Rhs[0])
+			if call == nil {
+				return true
+			}
+			if containsEndCall(stmt.Rhs[0]) {
+				return false
+			}
+			id, ok := stmt.Lhs[0].(*ast.Ident)
+			if !ok {
+				return false // stored into a field/index: ownership transferred at birth
+			}
+			var v *types.Var
+			if stmt.Tok == token.DEFINE {
+				v, _ = info.Defs[id].(*types.Var)
+			} else {
+				v, _ = info.Uses[id].(*types.Var)
+			}
+			sites = append(sites, site{call, v}) // v==nil covers `_ =`
+			return false
+		case *ast.ExprStmt:
+			call := chainRoot(info, stmt.X)
+			if call != nil && !containsEndCall(stmt.X) {
+				sites = append(sites, site{call, nil})
+			}
+			return false
+		}
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+
+	g := cfg.New(fd.Body)
+	for _, s := range sites {
+		if s.v == nil {
+			pass.Reportf(s.call.Pos(), "span begun and discarded: nothing can End it, its phase never reaches the table (bind the span and End it, obs drift-free tiling)")
+			continue
+		}
+		start, ok := pairing.Find(g, s.call)
+		if !ok {
+			continue // dead code
+		}
+		if pairing.EscapesToExit(g, start, classifier(info, s.v)) {
+			pass.Reportf(s.call.Pos(), "span %s can reach return without End on some path: its phase never reaches the table (End every span, obs drift-free tiling)", s.v.Name())
+		}
+	}
+}
+
+// chainRoot unwraps a method chain `root(...).Tag(...).Attr(...)` and
+// returns the innermost span-begin call, or nil if the expression is
+// not rooted at one.
+func chainRoot(info *types.Info, e ast.Expr) *ast.CallExpr {
+	for {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		if spanBegin(info, call) {
+			return call
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		e = sel.X
+	}
+}
+
+// classifier builds the per-node Class function for span variable v:
+// End-on-v (anywhere in a fluent chain rooted at v, as in
+// `sp.AttrInt(...).End(t)`) or any non-receiver use of v (transfer)
+// kills the path; pure chaining (Tag, Attr, Child) is transparent.
+func classifier(info *types.Info, v *types.Var) func(ast.Node) pairing.Class {
+	return func(n ast.Node) pairing.Class {
+		recvUse := map[*ast.Ident]bool{}  // ident appears as a chain root
+		chainEnd := map[*ast.Ident]bool{} // ...and the chain includes End
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Unwrap the method chain below this call; if it roots at
+			// an ident of v, record every method name along the way.
+			hasEnd := false
+			for {
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if sel.Sel.Name == "End" {
+					hasEnd = true
+				}
+				base := ast.Unparen(sel.X)
+				if id, ok := base.(*ast.Ident); ok {
+					if info.Uses[id] == v {
+						recvUse[id] = true
+						chainEnd[id] = chainEnd[id] || hasEnd
+					}
+					return true
+				}
+				inner, ok := base.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				call = inner
+			}
+		})
+		killed := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok || info.Uses[id] != v {
+				return true
+			}
+			if recvUse[id] {
+				if chainEnd[id] {
+					killed = true
+				}
+				return true
+			}
+			killed = true // returned, passed, stored, aliased, or captured
+			return true
+		})
+		if killed {
+			return pairing.ClassKill
+		}
+		return pairing.ClassNone
+	}
+}

@@ -1,0 +1,12 @@
+package spanpair_test
+
+import (
+	"testing"
+
+	"github.com/medusa-repro/medusa/internal/lint/analysistest"
+	"github.com/medusa-repro/medusa/internal/lint/spanpair"
+)
+
+func TestSpanPair(t *testing.T) {
+	analysistest.Run(t, spanpair.Analyzer, "spanpair")
+}

@@ -1,0 +1,142 @@
+// Package spanpair's testdata mirrors the obs tracing API by shape:
+// Tracer.StartSpan and Span.Child begin spans, Span.End closes them,
+// and Tag/Attr return the span for fluent chaining.
+package spanpair
+
+// Tracer mimics obs.Tracer.
+type Tracer struct{}
+
+func (t *Tracer) StartSpan(track, name string, now int64) *Span { return nil }
+
+// Span mimics obs.Span.
+type Span struct{}
+
+func (s *Span) Child(name string, now int64) *Span { return nil }
+func (s *Span) Tag(k, v string) *Span              { return nil }
+func (s *Span) Attr(k, v string) *Span             { return nil }
+func (s *Span) End(now int64)                      {}
+
+type sink struct{ root *Span }
+
+func cond() bool    { return false }
+func work() error   { return nil }
+func emit(sp *Span) {}
+func now() int64    { return 0 }
+
+// GoodLinear begins, works, ends.
+func GoodLinear(tr *Tracer) {
+	sp := tr.StartSpan("t", "phase", now())
+	work()
+	sp.End(now())
+}
+
+// GoodChainedBegin tolerates fluent Tag/Attr chaining on both the
+// begin expression and later receiver-position uses.
+func GoodChainedBegin(tr *Tracer) {
+	sp := tr.StartSpan("t", "phase", now()).Tag("k", "v").Attr("a", "b")
+	sp.Tag("more", "tags")
+	sp.End(now())
+}
+
+// GoodDeferEnd pairs every downstream return through the defer.
+func GoodDeferEnd(tr *Tracer) error {
+	sp := tr.StartSpan("t", "phase", now())
+	defer sp.End(now())
+	if err := work(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// GoodErrorPathsEnd ends the span explicitly before each return.
+func GoodErrorPathsEnd(tr *Tracer) error {
+	sp := tr.StartSpan("t", "phase", now())
+	if err := work(); err != nil {
+		sp.End(now())
+		return err
+	}
+	sp.End(now())
+	return nil
+}
+
+// GoodChainedEnd ends through a fluent chain: the End receiver is the
+// chain result, not the variable, and must still count.
+func GoodChainedEnd(tr *Tracer) {
+	sp := tr.StartSpan("t", "analysis", now())
+	work()
+	sp.Attr("nodes", "12").End(now())
+}
+
+// GoodInlinePair chains End directly onto the begin.
+func GoodInlinePair(tr *Tracer) {
+	tr.StartSpan("t", "blip", now()).End(now())
+}
+
+// GoodTransferReturn hands the span to the caller, which owns End.
+func GoodTransferReturn(tr *Tracer) *Span {
+	sp := tr.StartSpan("t", "phase", now())
+	return sp
+}
+
+// GoodTransferClosure captures the span in a returned closure that
+// ends it: ownership moves into the function literal.
+func GoodTransferClosure(tr *Tracer) func() {
+	sp := tr.StartSpan("t", "stage", now())
+	return func() { sp.End(now()) }
+}
+
+// GoodTransferStore parks the span in a longer-lived structure; the
+// holder owns End.
+func GoodTransferStore(tr *Tracer, s *sink) {
+	sp := tr.StartSpan("t", "phase", now())
+	s.root = sp
+}
+
+// GoodTransferArg passes the span on; the callee owns End.
+func GoodTransferArg(tr *Tracer) {
+	sp := tr.StartSpan("t", "phase", now())
+	emit(sp)
+}
+
+// BadNeverEnded begins a span and falls off the end of the function.
+func BadNeverEnded(tr *Tracer) {
+	sp := tr.StartSpan("t", "phase", now()) // want `span sp can reach return without End`
+	work()
+	sp.Tag("used", "but-never-ended")
+}
+
+// BadErrorPathLeaks ends only the success path: the early return
+// leaks the span, exactly the offline-phase bug shape.
+func BadErrorPathLeaks(tr *Tracer) error {
+	sp := tr.StartSpan("t", "offline_phase", now()).Tag("k", "v") // want `span sp can reach return without End`
+	if err := work(); err != nil {
+		return err
+	}
+	sp.End(now())
+	return nil
+}
+
+// BadChildLeaks pairs the root but leaks the child on the error path.
+func BadChildLeaks(tr *Tracer) error {
+	root := tr.StartSpan("t", "phase", now())
+	defer root.End(now())
+	child := root.Child("analysis", now()) // want `span child can reach return without End`
+	if err := work(); err != nil {
+		return err
+	}
+	child.End(now())
+	return nil
+}
+
+// BadDiscarded throws the span away at birth.
+func BadDiscarded(tr *Tracer) {
+	tr.StartSpan("t", "phase", now()) // want `span begun and discarded`
+}
+
+// AllowedSentinel demonstrates the escape hatch for a span deliberately
+// left open as a liveness sentinel that an external reaper closes.
+func AllowedSentinel(tr *Tracer) {
+	sp := tr.StartSpan("t", "sentinel", now()) //medusalint:allow spanpair(sentinel span is closed by the reaper goroutine at shutdown)
+	work()
+	sp.Tag("liveness", "sentinel")
+}

@@ -90,6 +90,7 @@ type SliceSource struct {
 // as-is (IDs included), in slice order.
 func NewSlice(reqs []Request) *SliceSource { return &SliceSource{reqs: reqs} }
 
+// Next emits the next request in slice order.
 func (s *SliceSource) Next() (Request, bool) {
 	if s.i >= len(s.reqs) {
 		return Request{}, false
@@ -99,6 +100,7 @@ func (s *SliceSource) Next() (Request, bool) {
 	return r, true
 }
 
+// Err always reports nil: an in-memory trace cannot fail.
 func (s *SliceSource) Err() error { return nil }
 
 // burstySource merges a base-rate stream with a burst-window-filtered
@@ -108,13 +110,13 @@ func (s *SliceSource) Err() error { return nil }
 // practice and the merged order matches what sorting the concatenated
 // traces produces.
 type burstySource struct {
-	cfg        BurstConfig
-	base, ext  Source
-	baseReq    Request
-	extReq     Request
-	baseOK     bool
-	extOK      bool
-	id         int
+	cfg       BurstConfig
+	base, ext Source
+	baseReq   Request
+	extReq    Request
+	baseOK    bool
+	extOK     bool
+	id        int
 }
 
 // NewBursty returns a streaming bursty source: a base Poisson rate with

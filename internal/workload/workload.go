@@ -37,12 +37,13 @@ type TraceConfig struct {
 	RPS float64
 	// Duration is the arrival window.
 	Duration time.Duration
-	// MeanPrompt / MeanOutput are the length means (defaults:
-	// ShareGPT's 161 / 338).
+	// MeanPrompt is the prompt-length mean (default: ShareGPT's 161).
 	MeanPrompt int
+	// MeanOutput is the output-length mean (default: ShareGPT's 338).
 	MeanOutput int
-	// MaxPrompt / MaxOutput clamp lengths (defaults 2048 / 1024).
+	// MaxPrompt clamps prompt lengths (default 2048).
 	MaxPrompt int
+	// MaxOutput clamps output lengths (default 1024).
 	MaxOutput int
 }
 
@@ -98,13 +99,21 @@ func Generate(cfg TraceConfig) ([]Request, error) {
 // modelling the 10–20× fluctuations within 30-second windows the paper
 // cites from production LLM serving.
 type BurstConfig struct {
-	Seed       int64
-	BaseRPS    float64
-	BurstRPS   float64
-	Period     time.Duration // one base+burst cycle
-	BurstLen   time.Duration // burst portion of the cycle
-	Duration   time.Duration
+	// Seed makes the trace reproducible.
+	Seed int64
+	// BaseRPS is the steady request rate between bursts.
+	BaseRPS float64
+	// BurstRPS is the request rate during a burst window.
+	BurstRPS float64
+	// Period is one base+burst cycle.
+	Period time.Duration
+	// BurstLen is the burst portion of the cycle.
+	BurstLen time.Duration
+	// Duration is the arrival window.
+	Duration time.Duration
+	// MeanPrompt is the prompt-length mean (default: ShareGPT's 161).
 	MeanPrompt int
+	// MeanOutput is the output-length mean (default: ShareGPT's 338).
 	MeanOutput int
 }
 
