@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint docs test test-race short bench bench-smoke batch-smoke faults-smoke figures examples fuzz cover trace-demo clean
+.PHONY: all check build vet lint docs test test-race short bench bench-smoke batch-smoke fleet-smoke faults-smoke figures examples fuzz cover trace-demo clean
 
 all: build test
 
 # One-stop verification: compile, vet, lint the determinism invariants,
-# full tests, race-detect everything, then the batched-execution smoke.
-check: build vet lint test test-race batch-smoke
+# full tests, race-detect everything, then the batched-execution and
+# fleet-control-plane smokes.
+check: build vet lint test test-race batch-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -32,7 +33,8 @@ lint:
 docs:
 	$(GO) run ./cmd/medusa-doccheck ./internal/faults ./internal/artifactcache \
 		./internal/cluster ./internal/serverless ./internal/sched ./internal/cliconfig \
-		./internal/eventq ./internal/workload ./internal/replicate
+		./internal/eventq ./internal/workload ./internal/replicate \
+		./internal/autoscale ./internal/router ./internal/metrics
 
 test:
 	$(GO) test ./...
@@ -69,6 +71,13 @@ bench-smoke:
 # internal/cluster/testdata/max_allocs_per_request_batched.
 batch-smoke:
 	MEDUSA_BATCH_SMOKE=1 $(GO) test -run TestBatchSmoke100k -count=1 -v ./internal/cluster/
+
+# Seconds-scale fleet-control-plane gate: a seeded ~100k-request
+# diurnal multi-tenant run under predictive autoscaling and score
+# routing, asserting SLO attainment and node-seconds stay inside
+# checked bounds.
+fleet-smoke:
+	MEDUSA_FLEET_SMOKE=1 $(GO) test -run TestFleetSmoke100k -count=1 -v ./internal/cluster/
 
 # Seconds-scale fault-injection gate: the seeded probability sweep
 # (every run must survive every injected fault — FAILURES.md) plus a

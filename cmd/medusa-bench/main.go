@@ -23,6 +23,7 @@ import (
 
 func main() {
 	bv := cliconfig.RegisterBatch(flag.CommandLine)
+	fv := cliconfig.RegisterFleet(flag.CommandLine)
 	exp := flag.String("exp", "", "experiment id to run (see -list)")
 	all := flag.Bool("all", false, "run every registered experiment")
 	list := flag.Bool("list", false, "list experiment ids")
@@ -53,6 +54,11 @@ func main() {
 	}()
 	ctx := experiments.NewContext()
 	ctx.Batch = bv.BatchParams()
+	ctx.Fleet = experiments.FleetOverrides{
+		Autoscale: fv.Autoscale,
+		Router:    fv.Router,
+		SLO:       fv.SLO(),
+	}
 	if *tracePath != "" {
 		ctx.Tracer = obs.NewTracer()
 	}

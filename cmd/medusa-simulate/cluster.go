@@ -56,11 +56,21 @@ func runCluster(v *cliconfig.Values, baseTC workload.TraceConfig, tracePath stri
 
 	// mkCfg assembles one replication's fleet config: seeds derive from
 	// the replication index, deployments are cloned (Run treats them
-	// read-only, but each replication routes its own trace).
+	// read-only, but each replication routes its own trace). Control-
+	// plane policies are constructed fresh per replication — a stateful
+	// autoscaler must not be shared across runs.
 	mkCfg := func(rep int64) (cluster.Config, error) {
 		tc := baseTC
 		tc.Seed = seed + rep
 		rdeps := append([]serverless.Deployment(nil), deps...)
+		scaler, err := v.AutoscalePolicy()
+		if err != nil {
+			return cluster.Config{}, err
+		}
+		route, err := v.RouterPolicy()
+		if err != nil {
+			return cluster.Config{}, err
+		}
 		ccfg := cluster.Config{
 			Nodes:            v.Nodes,
 			GPUsPerNode:      v.GPUsPerNode,
@@ -71,6 +81,25 @@ func runCluster(v *cliconfig.Values, baseTC workload.TraceConfig, tracePath stri
 			Deployments:      rdeps,
 			Faults:           serverless.FaultSpec{Plan: plan},
 			RetainPerRequest: v.Retain,
+			Autoscaler:       scaler,
+			Router:           route,
+			SLO:              v.SLO(),
+		}
+		if v.Diurnal > 0 {
+			// Diurnal fleet traffic: one phase-staggered source per
+			// deployment, Zipf-weighted by -zipf (flat split when the knob
+			// is at its >1 Poisson-mode default is deliberate — Zipf skew
+			// composes through DiurnalFleet's (i+1)^−skew weighting).
+			dc := v.DiurnalConfig()
+			dc.Seed = seed + rep
+			srcs, err := workload.DiurnalFleet(dc, len(rdeps), v.Zipf)
+			if err != nil {
+				return ccfg, err
+			}
+			for i := range rdeps {
+				rdeps[i].Source = srcs[i]
+			}
+			return ccfg, nil
 		}
 		if v.Stream {
 			src, err := workload.NewPoisson(tc)

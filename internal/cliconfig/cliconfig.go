@@ -9,8 +9,10 @@
 // Register binds the full simulator surface onto a FlagSet and
 // returns the Values the flags write into; RegisterBatch binds only
 // the batched-execution knobs (what medusa-bench forwards to the
-// ext-batching experiment). The builder methods translate parsed
-// values into the config sub-structs the simulators consume.
+// ext-batching experiment), and RegisterFleet only the fleet
+// control-plane knobs (what medusa-bench forwards to ext-fleet). The
+// builder methods translate parsed values into the config sub-structs
+// the simulators consume.
 package cliconfig
 
 import (
@@ -19,7 +21,9 @@ import (
 	"time"
 
 	"github.com/medusa-repro/medusa/internal/artifactcache"
+	"github.com/medusa-repro/medusa/internal/autoscale"
 	"github.com/medusa-repro/medusa/internal/cluster"
+	"github.com/medusa-repro/medusa/internal/router"
 	"github.com/medusa-repro/medusa/internal/sched"
 	"github.com/medusa-repro/medusa/internal/serverless"
 	"github.com/medusa-repro/medusa/internal/workload"
@@ -91,6 +95,20 @@ type Values struct {
 	Stream bool
 	// Retain keeps every per-request latency observation.
 	Retain bool
+
+	// SLOTTFT is the time-to-first-token deadline (0 disables SLO
+	// accounting together with SLOTPOT).
+	SLOTTFT time.Duration
+	// SLOTPOT is the time-per-output-token deadline (batched mode).
+	SLOTPOT time.Duration
+	// Autoscale names the fleet autoscaling policy.
+	Autoscale string
+	// Router names the fleet dispatch policy.
+	Router string
+	// Diurnal switches the fleet trace to phase-staggered diurnal
+	// multi-tenant sources (sinusoidal envelope + Markov bursts) with
+	// this day/night period (0 keeps the flat Poisson/Zipf trace).
+	Diurnal time.Duration
 }
 
 // Register binds the full shared flag surface onto fs and returns the
@@ -121,6 +139,7 @@ func Register(fs *flag.FlagSet) *Values {
 	fs.Float64Var(&v.Zipf, "zipf", 1.2, "Zipf popularity skew across -models (must be > 1)")
 	fs.BoolVar(&v.Stream, "stream", false, "stream arrivals instead of materializing the trace — memory stays O(active requests), enabling 10M+ request runs (cluster mode)")
 	fs.BoolVar(&v.Retain, "retain", false, "retain every per-request latency observation for exact quantiles (O(requests) memory; default uses a bounded deterministic reservoir)")
+	v.bindFleet(fs)
 	return v
 }
 
@@ -139,6 +158,65 @@ func (v *Values) bindBatch(fs *flag.FlagSet) {
 	fs.IntVar(&v.BatchTokens, "batch-tokens", 0, "per-iteration token budget; > 0 enables iteration-level continuous batching")
 	fs.IntVar(&v.KVBlocks, "kv-blocks", 0, "paged KV pool size per instance in 16-token blocks (0 = derive from the instance profile)")
 	fs.BoolVar(&v.ChunkedPrefill, "chunked-prefill", false, "split long prompts into budget-sized chunks across iterations")
+}
+
+// RegisterFleet binds only the fleet control-plane knobs onto fs —
+// medusa-bench registers these so the ext-fleet experiment can be
+// driven from the command line with the same flags medusa-simulate
+// declares.
+func RegisterFleet(fs *flag.FlagSet) *Values {
+	v := &Values{}
+	v.bindFleet(fs)
+	return v
+}
+
+// bindFleet is the single declaration point for the fleet
+// control-plane knobs.
+func (v *Values) bindFleet(fs *flag.FlagSet) {
+	fs.DurationVar(&v.SLOTTFT, "slo-ttft", 0, "time-to-first-token deadline; with -slo-tpot 0 disables SLO accounting (cluster mode)")
+	fs.DurationVar(&v.SLOTPOT, "slo-tpot", 0, "time-per-output-token deadline, checked in batched execution mode (cluster mode)")
+	fs.StringVar(&v.Autoscale, "autoscale", "reactive", "fleet autoscaling policy: reactive | predictive")
+	fs.StringVar(&v.Router, "router", "fifo", "fleet dispatch policy: fifo | leastloaded | score")
+	fs.DurationVar(&v.Diurnal, "diurnal", 0, "day/night cycle period; > 0 streams phase-staggered diurnal multi-tenant arrivals instead of the flat trace (cluster mode)")
+}
+
+// SLO assembles the per-request deadline sub-config (zero when neither
+// deadline flag was set, which disables SLO accounting).
+func (v *Values) SLO() serverless.SLO {
+	return serverless.SLO{TTFT: v.SLOTTFT, TPOT: v.SLOTPOT}
+}
+
+// AutoscalePolicy parses the -autoscale flag into a policy instance.
+// Each call returns a fresh instance: stateful policies must not be
+// shared across simulation runs.
+func (v *Values) AutoscalePolicy() (autoscale.Policy, error) {
+	return autoscale.Parse(v.Autoscale)
+}
+
+// RouterPolicy parses the -router flag into a dispatch policy (nil for
+// "fifo", the legacy launch-order walk).
+func (v *Values) RouterPolicy() (router.Policy, error) {
+	return router.Parse(v.Router)
+}
+
+// DiurnalConfig assembles the diurnal multi-tenant generator's base
+// configuration from the trace flags: the fleet splits -rps across
+// tenants with a -diurnal-period sinusoid and default burst modulation
+// (4× bursts, 5s mean burst, 30s mean calm — the 10–20× 30-second
+// fluctuation shape the paper cites, toned to the envelope).
+func (v *Values) DiurnalConfig() workload.DiurnalConfig {
+	return workload.DiurnalConfig{
+		Seed:        v.Seed,
+		BaseRPS:     v.RPS,
+		Amplitude:   0.6,
+		Period:      v.Diurnal,
+		BurstFactor: 4,
+		MeanBurst:   5 * time.Second,
+		MeanCalm:    30 * time.Second,
+		Duration:    time.Duration(v.DurationSec) * time.Second,
+		MeanOutput:  v.MeanOutput,
+		MaxOutput:   v.MaxOutput,
+	}
 }
 
 // TraceConfig assembles the workload generator's configuration.

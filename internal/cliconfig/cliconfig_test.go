@@ -9,6 +9,7 @@ import (
 
 	"github.com/medusa-repro/medusa/internal/artifactcache"
 	"github.com/medusa-repro/medusa/internal/serverless"
+	"github.com/medusa-repro/medusa/internal/workload"
 )
 
 // TestRegisterDefaults parses an empty command line and checks the
@@ -49,6 +50,14 @@ func TestRegisterDefaults(t *testing.T) {
 	if v.BatchTokens != 0 || v.KVBlocks != 0 || v.ChunkedPrefill {
 		t.Errorf("batch knobs must default off, got tokens=%d blocks=%d chunked=%v",
 			v.BatchTokens, v.KVBlocks, v.ChunkedPrefill)
+	}
+	if v.SLOTTFT != 0 || v.SLOTPOT != 0 || v.Diurnal != 0 {
+		t.Errorf("fleet deadlines/diurnal must default off, got ttft=%v tpot=%v diurnal=%v",
+			v.SLOTTFT, v.SLOTPOT, v.Diurnal)
+	}
+	if v.Autoscale != "reactive" || v.Router != "fifo" {
+		t.Errorf("fleet policies must default to the legacy baselines, got autoscale=%q router=%q",
+			v.Autoscale, v.Router)
 	}
 }
 
@@ -117,6 +126,115 @@ func TestFlagNamesDisjointFromBatch(t *testing.T) {
 			t.Errorf("batch flag -%s missing from the full surface", f.Name)
 		}
 	})
+}
+
+// TestRegisterFleetSubset checks the medusa-bench fleet surface: only
+// the control-plane knobs, with the same names and defaults as the
+// full set.
+func TestRegisterFleetSubset(t *testing.T) {
+	fs := flag.NewFlagSet("medusa-bench", flag.ContinueOnError)
+	v := RegisterFleet(fs)
+	var names []string
+	fs.VisitAll(func(f *flag.Flag) { names = append(names, f.Name) })
+	want := []string{"autoscale", "diurnal", "router", "slo-tpot", "slo-ttft"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("RegisterFleet flags = %v, want %v", names, want)
+	}
+	if err := fs.Parse([]string{"-slo-ttft", "500ms", "-slo-tpot", "80ms",
+		"-autoscale", "predictive", "-router", "score", "-diurnal", "2m"}); err != nil {
+		t.Fatal(err)
+	}
+	if slo := v.SLO(); slo.TTFT != 500*time.Millisecond || slo.TPOT != 80*time.Millisecond {
+		t.Errorf("SLO() = %+v", slo)
+	}
+	if v.Diurnal != 2*time.Minute {
+		t.Errorf("Diurnal = %v, want 2m", v.Diurnal)
+	}
+	scaler, err := v.AutoscalePolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaler.Name() != "predictive" {
+		t.Errorf("AutoscalePolicy() = %q, want predictive", scaler.Name())
+	}
+	route, err := v.RouterPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route == nil || route.Name() != "score" {
+		t.Errorf("RouterPolicy() = %v, want score", route)
+	}
+}
+
+// TestFlagNamesDisjointFromFleet mirrors the batch-subset guard for
+// the fleet knobs.
+func TestFlagNamesDisjointFromFleet(t *testing.T) {
+	full := flag.NewFlagSet("full", flag.ContinueOnError)
+	Register(full)
+	fleet := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	RegisterFleet(fleet)
+	fleet.VisitAll(func(f *flag.Flag) {
+		if full.Lookup(f.Name) == nil {
+			t.Errorf("fleet flag -%s missing from the full surface", f.Name)
+		}
+	})
+}
+
+// TestFleetPolicyDefaultsAreLegacy: the default flag values must
+// resolve to the byte-identical legacy behaviors — reactive scaling
+// and nil (launch-order) routing — and unknown names must error.
+func TestFleetPolicyDefaultsAreLegacy(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	v := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !v.SLO().Zero() {
+		t.Errorf("default SLO must be zero, got %+v", v.SLO())
+	}
+	scaler, err := v.AutoscalePolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaler.Name() != "reactive" {
+		t.Errorf("default autoscaler = %q, want reactive", scaler.Name())
+	}
+	route, err := v.RouterPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route != nil {
+		t.Errorf("default router must be nil (legacy dispatch), got %v", route)
+	}
+
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	v = Register(fs)
+	if err := fs.Parse([]string{"-autoscale", "oracle", "-router", "random"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.AutoscalePolicy(); err == nil {
+		t.Error("unknown autoscale policy must fail to parse")
+	}
+	if _, err := v.RouterPolicy(); err == nil {
+		t.Error("unknown router policy must fail to parse")
+	}
+}
+
+// TestDiurnalConfigAssembly checks the diurnal generator wiring: trace
+// flags flow through and the assembled config validates.
+func TestDiurnalConfigAssembly(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	v := Register(fs)
+	if err := fs.Parse([]string{"-rps", "40", "-duration", "90", "-seed", "13", "-diurnal", "1m"}); err != nil {
+		t.Fatal(err)
+	}
+	dc := v.DiurnalConfig()
+	if dc.Seed != 13 || dc.BaseRPS != 40 || dc.Period != time.Minute || dc.Duration != 90*time.Second {
+		t.Errorf("DiurnalConfig() = %+v", dc)
+	}
+	if _, err := workload.NewDiurnal(dc); err != nil {
+		t.Errorf("assembled diurnal config must validate, got %v", err)
+	}
 }
 
 // TestTraceConfigAssembly checks the flag-to-workload translation,

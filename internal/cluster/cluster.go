@@ -21,11 +21,13 @@ import (
 	"time"
 
 	"github.com/medusa-repro/medusa/internal/artifactcache"
+	"github.com/medusa-repro/medusa/internal/autoscale"
 	"github.com/medusa-repro/medusa/internal/engine"
 	"github.com/medusa-repro/medusa/internal/faults"
 	"github.com/medusa-repro/medusa/internal/kvcache"
 	"github.com/medusa-repro/medusa/internal/metrics"
 	"github.com/medusa-repro/medusa/internal/obs"
+	"github.com/medusa-repro/medusa/internal/router"
 	"github.com/medusa-repro/medusa/internal/serverless"
 	"github.com/medusa-repro/medusa/internal/storage"
 	"github.com/medusa-repro/medusa/internal/workload"
@@ -81,6 +83,22 @@ type Config struct {
 	// default: samples keep exact count/mean/max plus a deterministic
 	// bounded reservoir for quantiles.
 	RetainPerRequest bool
+	// Autoscaler decides how many instances each deployment keeps live,
+	// evaluated on every control tick (arrival, iteration end, idle
+	// retirement, node crash). Nil selects the reactive baseline, which
+	// reproduces the legacy autoscaler byte-for-byte. A stateful policy
+	// (autoscale.NewPredictive) must not be shared across runs.
+	Autoscaler autoscale.Policy
+	// Router orders each deployment's ready instances for dispatch by
+	// score (queue depth, KV headroom, artifact locality, predicted
+	// TTFT), ties broken by lowest instance id. Nil keeps the legacy
+	// launch-order walk, byte-identical to before routing was pluggable.
+	Router router.Policy
+	// SLO, when nonzero, enables per-request deadline accounting: each
+	// deployment reports how many completed requests met every
+	// configured deadline, and the Result carries fleet-wide SLO
+	// attainment. The zero value changes nothing.
+	SLO serverless.SLO
 	// Faults, when holding a nonzero plan, injects deterministic faults
 	// (artifact corruption, registry fetch timeouts, SSD read errors,
 	// restore-validation mismatches, node crashes) into the run. Every
@@ -107,6 +125,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.WarmContainersPerNode < 0 {
 		return c, fmt.Errorf("cluster: WarmContainersPerNode must be ≥ 0, got %d", c.WarmContainersPerNode)
+	}
+	if err := c.SLO.Validate(); err != nil {
+		return c, err
 	}
 	if c.Cache == (artifactcache.Params{}) {
 		c.Cache = artifactcache.DefaultParams()
@@ -174,6 +195,9 @@ type DeploymentResult struct {
 	ColdStartPhases *obs.PhaseBreakdown
 	// ColdStartTotal sums all launches' end-to-end durations.
 	ColdStartTotal time.Duration
+	// SLOMet counts completed requests that met every configured
+	// deadline (0 when Config.SLO is zero).
+	SLOMet int
 	// Metrics is the deployment's counter/gauge/sample registry.
 	Metrics *obs.Registry
 }
@@ -215,8 +239,27 @@ type Result struct {
 	NodeCrashes int
 	// GPUSeconds is total provisioned GPU time across the fleet.
 	GPUSeconds float64
+	// NodeSeconds is the fleet's cost: the summed time each node spent
+	// hosting at least one instance (nodes idle end to end cost
+	// nothing). Always computed; it is the denominator predictive
+	// autoscaling is judged against.
+	NodeSeconds float64
+	// SLOMet counts completed requests fleet-wide that met every
+	// configured deadline (0 when Config.SLO is zero).
+	SLOMet int
+	// Completed counts finished requests fleet-wide.
+	Completed int
 	// Makespan spans simulation start to the last completion.
 	Makespan time.Duration
+}
+
+// SLOAttainment returns the fleet-wide fraction of completed requests
+// that met every configured deadline (0 when nothing completed).
+func (r *Result) SLOAttainment() float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return float64(r.SLOMet) / float64(r.Completed)
 }
 
 // Run simulates the fleet.
@@ -228,7 +271,10 @@ func Run(cfg Config) (*Result, error) {
 
 	registry := artifactcache.NewRegistry(cfg.Network)
 	clusterReg := obs.NewRegistry()
-	sim := &simulation{cfg: cfg, reg: clusterReg}
+	sim := &simulation{cfg: cfg, reg: clusterReg, scaler: cfg.Autoscaler, router: cfg.Router, slo: cfg.SLO}
+	if sim.scaler == nil {
+		sim.scaler = autoscale.NewReactive()
+	}
 	if cfg.Faults.Plan != nil {
 		inj, err := faults.NewInjector(*cfg.Faults.Plan)
 		if err != nil {
@@ -324,10 +370,19 @@ func Run(cfg Config) (*Result, error) {
 			phases:   obs.NewPhaseBreakdown(),
 			rng:      rand.New(rand.NewSource(cfg.Seed ^ dcfg.Seed ^ 0x5eed ^ int64(di))),
 		}
+		// The predictive autoscaler scales ahead by the launch lead time:
+		// the profile's measured cold start (placement may shave the
+		// fetch, but the loading stages dominate).
+		d.provLatency = prof.ColdStart()
 		if cfg.RetainPerRequest {
 			d.reg.RetainSamples()
 		}
 		d.bindInstruments()
+		if !cfg.SLO.Zero() {
+			// Registered only under an SLO so legacy registries render the
+			// historical instrument set byte-for-byte.
+			d.cSLOMet = d.reg.Counter("slo_met")
+		}
 		if !streaming {
 			d.seenArr = true
 			d.firstArr = dep.Requests[0].Arrival

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"github.com/medusa-repro/medusa/internal/autoscale"
+	"github.com/medusa-repro/medusa/internal/router"
+	"github.com/medusa-repro/medusa/internal/sched"
+	"github.com/medusa-repro/medusa/internal/serverless"
+	"github.com/medusa-repro/medusa/internal/workload"
+)
+
+// fleetSmokeBudget bounds the 100k-request control-plane smoke's wall
+// clock. The run finishes in seconds on the development machine; the
+// budget absorbs slow CI hosts.
+const fleetSmokeBudget = 90 * time.Second
+
+// TestFleetSmoke100k drives the full fleet control plane — predictive
+// autoscaling with retention, score routing, SLO accounting — through
+// a seeded ~100k-request diurnal multi-tenant workload, and asserts
+// the serving outcome stays inside checked bounds: SLO attainment high
+// enough that the control plane is demonstrably scheduling (not
+// timing out the fleet), node-seconds inside the physical ceiling of
+// nodes × makespan, and the whole run under a wall-clock budget. It
+// runs from `make fleet-smoke` (gated on MEDUSA_FLEET_SMOKE so
+// ordinary `go test ./...` stays fast).
+func TestFleetSmoke100k(t *testing.T) {
+	if os.Getenv("MEDUSA_FLEET_SMOKE") == "" {
+		t.Skip("set MEDUSA_FLEET_SMOKE=1 to run the 100k-request control-plane smoke (make fleet-smoke)")
+	}
+	srcs, err := workload.DiurnalFleet(workload.DiurnalConfig{
+		Seed: 701, BaseRPS: 440, Amplitude: 0.8, Period: 60 * time.Second,
+		BurstFactor: 2, MeanBurst: 5 * time.Second, MeanCalm: 15 * time.Second,
+		Duration:  180 * time.Second,
+		MaxPrompt: 512, MeanOutput: 8, MaxOutput: 16,
+	}, 2, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := fixtureModels[:2]
+	deps := make([]serverless.Deployment, 0, len(models))
+	for i, name := range models {
+		dcfg := idleOut(medusaDeployment(t, name, int64(i+1)), 2*time.Second)
+		dcfg.Scheduler.Batch = sched.Params{BatchTokens: 512, KVBlocks: 256, ChunkedPrefill: true}
+		deps = append(deps, serverless.Deployment{Name: name, Config: dcfg, Source: srcs[i]})
+	}
+	scaler, err := autoscale.NewPredictive(autoscale.PredictiveConfig{Window: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := router.Parse("score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Nodes: 4, GPUsPerNode: 8, Seed: 7,
+		Deployments: deps,
+		Autoscaler:  scaler,
+		Router:      route,
+		SLO:         serverless.SLO{TTFT: time.Second, TPOT: 250 * time.Millisecond},
+	}
+
+	start := time.Now()
+	res, err := Run(cfg)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed < 100_000 {
+		t.Fatalf("completed %d requests, want ≥ 100k (workload mis-sized)", res.Completed)
+	}
+	if elapsed > fleetSmokeBudget {
+		t.Fatalf("100k-request control-plane run took %v, budget %v", elapsed, fleetSmokeBudget)
+	}
+	if att := res.SLOAttainment(); att < 0.90 {
+		t.Fatalf("SLO attainment %.4f below the 0.90 floor — the control plane stopped keeping up", att)
+	}
+	// Makespan ends at the last completion, but idle instances retire on
+	// their timeouts (and the retention veto holds some a little longer)
+	// after it — allow one retention window of drain per node on top.
+	drain := res.Makespan + 10*time.Second
+	ceiling := float64(cfg.Nodes) * drain.Seconds()
+	if res.NodeSeconds <= 0 || res.NodeSeconds > ceiling {
+		t.Fatalf("node-seconds %.3f outside (0, nodes × (makespan+drain) = %.3f]", res.NodeSeconds, ceiling)
+	}
+	t.Logf("completed %d requests in %v (attainment %.4f, node-seconds %.1f, %d cold starts)",
+		res.Completed, elapsed, res.SLOAttainment(), res.NodeSeconds, res.TotalColdStarts)
+}

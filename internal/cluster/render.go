@@ -12,9 +12,24 @@ func (r *Result) Render() string {
 	// Fault lines only appear under a nonzero plan so that fault-free
 	// output stays byte-identical to builds without fault injection.
 	withFaults := r.Config.Faults.Plan != nil && !r.Config.Faults.Plan.Zero()
+	// SLO and control-plane lines only appear when an SLO is configured,
+	// for the same reason.
+	withSLO := !r.Config.SLO.Zero()
 	var b strings.Builder
 	fmt.Fprintf(&b, "cluster: %d nodes × %d GPUs, policy %v, locality %.2f\n",
 		r.Config.Nodes, r.Config.GPUsPerNode, r.Config.Cache.Policy, r.Config.LocalityWeight)
+	if withSLO {
+		scaler := "reactive"
+		if r.Config.Autoscaler != nil {
+			scaler = r.Config.Autoscaler.Name()
+		}
+		route := "fifo"
+		if r.Config.Router != nil {
+			route = r.Config.Router.Name()
+		}
+		fmt.Fprintf(&b, "fleet: autoscale %s router %s slo ttft %v tpot %v\n",
+			scaler, route, r.Config.SLO.TTFT, r.Config.SLO.TPOT)
+	}
 	for _, d := range r.PerDeployment {
 		fmt.Fprintf(&b, "deployment %-16s completed %5d  ttft p50 %-12v p99 %-12v cold_starts %4d (total %v)\n",
 			d.Name, d.Completed, d.TTFT.P50(), d.TTFT.P99(), d.ColdStarts, d.ColdStartTotal)
@@ -26,6 +41,13 @@ func (r *Result) Render() string {
 		if d.TPOT != nil {
 			fmt.Fprintf(&b, "  tpot p50 %-12v p99 %-12v preemptions %d\n",
 				d.TPOT.P50(), d.TPOT.P99(), d.Preemptions)
+		}
+		if withSLO {
+			pct := 0.0
+			if d.Completed > 0 {
+				pct = float64(d.SLOMet) / float64(d.Completed) * 100
+			}
+			fmt.Fprintf(&b, "  slo met %d/%d (%.1f%%)\n", d.SLOMet, d.Completed, pct)
 		}
 		if withFaults {
 			fmt.Fprintf(&b, "  degraded %d (corrupt %d mismatch %d timeout %d)\n",
@@ -59,6 +81,10 @@ func (r *Result) Render() string {
 			r.Degraded, r.TotalColdStarts, rate, r.Requeued, r.NodeCrashes,
 			int(r.Metrics.Counter("lost_cold_starts").Value()),
 			r.Cache.TimedOut, r.Cache.SSDReadErrors)
+	}
+	if withSLO {
+		fmt.Fprintf(&b, "slo attainment %.2f%%  node_seconds %.3f\n",
+			r.SLOAttainment()*100, r.NodeSeconds)
 	}
 	fmt.Fprintf(&b, "cold starts %d  gpu_seconds %.3f  makespan %v\n",
 		r.TotalColdStarts, r.GPUSeconds, r.Makespan)

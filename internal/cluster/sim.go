@@ -6,11 +6,13 @@ import (
 	"time"
 
 	"github.com/medusa-repro/medusa/internal/artifactcache"
+	"github.com/medusa-repro/medusa/internal/autoscale"
 	"github.com/medusa-repro/medusa/internal/engine"
 	"github.com/medusa-repro/medusa/internal/eventq"
 	"github.com/medusa-repro/medusa/internal/faults"
 	"github.com/medusa-repro/medusa/internal/metrics"
 	"github.com/medusa-repro/medusa/internal/obs"
+	"github.com/medusa-repro/medusa/internal/router"
 	"github.com/medusa-repro/medusa/internal/sched"
 	"github.com/medusa-repro/medusa/internal/serverless"
 	"github.com/medusa-repro/medusa/internal/workload"
@@ -62,6 +64,9 @@ type reqState struct {
 	// TPOT denominator interval starts here).
 	firstTok time.Duration
 	turn     int
+	// sloViolated latches the first missed deadline; checked once at
+	// completion so each request counts toward attainment exactly once.
+	sloViolated bool
 }
 
 // instState is one provisioned instance, pinned to a node.
@@ -105,6 +110,12 @@ type nodeState struct {
 	launches int
 	crashed  bool
 	cache    *artifactcache.NodeCache
+	// Node-seconds accounting: a node costs while it hosts at least one
+	// instance. liveInsts transitions 0→1 open an up-interval; 1→0
+	// close it into upTime.
+	liveInsts int
+	upSince   time.Duration
+	upTime    time.Duration
 }
 
 // depState is one deployment's queue, profile and metrics. Hot-path
@@ -125,6 +136,10 @@ type depState struct {
 	// measured KV capacity, MaxSeqs from MaxBatch).
 	batched bool
 	batch   sched.Params
+
+	// provLatency is the launch lead time the predictive autoscaler
+	// scales ahead by (the profile's measured cold start).
+	provLatency time.Duration
 
 	pending eventq.Deque[*reqState]
 	// active lists live instances in launch order.
@@ -153,6 +168,10 @@ type depState struct {
 	sTPOT       *metrics.Sample
 	sColdStart  *metrics.Sample
 	gLive       *obs.Gauge
+	// cSLOMet counts deadline-meeting completions; bound only when the
+	// cluster config sets an SLO (nil otherwise, and the registry keeps
+	// its historical instrument set).
+	cSLOMet *obs.Counter
 }
 
 // bindInstruments resolves the hot-path instruments once. The
@@ -194,6 +213,14 @@ type simulation struct {
 	inj   *faults.Injector
 	nodes []*nodeState
 
+	// The control plane: scaler decides instance counts on every tick
+	// (never nil — Run defaults it to the reactive baseline), router
+	// orders dispatch (nil = legacy launch-order walk), slo carries the
+	// configured deadlines (zero = no SLO accounting).
+	scaler autoscale.Policy
+	router router.Policy
+	slo    serverless.SLO
+
 	deps []*depState
 
 	// src streams arrivals; head is the one pulled-but-unfired arrival
@@ -215,6 +242,8 @@ type simulation struct {
 	scratchAdmitted  []*reqState
 	scratchCrash     []*instState
 	scratchChunkDur  []time.Duration
+	scratchCands     []router.Candidate
+	scratchRoute     []*instState
 
 	created    int
 	completed  int
@@ -315,6 +344,7 @@ func (s *simulation) run() (*Result, error) {
 			inst.ready = true
 			node.gpusUsed += d.cfg.TPDegree
 			node.launches++
+			s.nodeUp(node)
 			d.active = append(d.active, inst)
 			d.live++
 		}
@@ -342,12 +372,13 @@ func (s *simulation) run() (*Result, error) {
 			}
 			d.pending.PushBack(r)
 			d.outstanding++
+			s.scaler.ObserveArrival(r.dep, r.Arrival)
 			if r == s.head {
 				if err := s.pullArrival(); err != nil {
 					return nil, err
 				}
 			}
-			if err := s.autoscaleAll(); err != nil {
+			if err := s.tick(); err != nil {
 				return nil, err
 			}
 			if err := s.dispatchIdle(); err != nil {
@@ -386,8 +417,20 @@ func (s *simulation) run() (*Result, error) {
 			d := s.deps[inst.dep]
 			if !inst.retired && inst.ready && inst.idleNow(d.batched) &&
 				s.now-inst.idleSince >= d.cfg.Scheduler.IdleTimeout {
+				if s.retainVeto(inst) {
+					// The autoscaling policy is holding this capacity warm
+					// for forecast traffic: re-arm the idle check instead
+					// of retiring. The veto lapses as the forecast decays,
+					// and a policy without the Retainer extension (the
+					// reactive baseline) never vetoes. Re-checks run at
+					// half the timeout so a vetoed instance retires
+					// promptly once its node's anchor work drains.
+					s.schedule(s.now+(d.cfg.Scheduler.IdleTimeout+1)/2,
+						event{kind: evIdleCheck, inst: inst, epoch: inst.epoch})
+					break
+				}
 				s.retire(inst)
-				if err := s.autoscaleAll(); err != nil {
+				if err := s.tick(); err != nil {
 					return nil, err
 				}
 				if err := s.dispatchIdle(); err != nil {
@@ -407,11 +450,29 @@ func (s *simulation) run() (*Result, error) {
 
 // retire takes an instance out of service, settling its GPU-time
 // account and recycling its state.
+// nodeUp opens the node's cost interval when its first instance lands.
+func (s *simulation) nodeUp(n *nodeState) {
+	if n.liveInsts == 0 {
+		n.upSince = s.now
+	}
+	n.liveInsts++
+}
+
+// nodeDown closes the node's cost interval when its last instance
+// leaves.
+func (s *simulation) nodeDown(n *nodeState) {
+	n.liveInsts--
+	if n.liveInsts == 0 {
+		n.upTime += s.now - n.upSince
+	}
+}
+
 func (s *simulation) retire(inst *instState) {
 	d := s.deps[inst.dep]
 	inst.retired = true
 	inst.retiredAt = s.now
 	s.nodes[inst.node].gpusUsed -= d.cfg.TPDegree
+	s.nodeDown(s.nodes[inst.node])
 	d.live--
 	d.liveChanged()
 	if inst.retiredAt > inst.launchedAt {
@@ -422,7 +483,8 @@ func (s *simulation) retire(inst *instState) {
 }
 
 func (s *simulation) assemble() *Result {
-	out := &Result{Config: s.cfg, Metrics: s.reg, Makespan: s.lastDone, GPUSeconds: s.gpuSeconds}
+	out := &Result{Config: s.cfg, Metrics: s.reg, Makespan: s.lastDone,
+		GPUSeconds: s.gpuSeconds, Completed: s.completed}
 	for _, d := range s.deps {
 		completed := int(d.cCompleted.Value())
 		coldStarts := int(d.cColdStarts.Value())
@@ -443,6 +505,10 @@ func (s *simulation) assemble() *Result {
 			res.TPOT = d.sTPOT
 			res.Preemptions = int(d.cPreempt.Value())
 		}
+		if d.cSLOMet != nil {
+			res.SLOMet = int(d.cSLOMet.Value())
+			out.SLOMet += res.SLOMet
+		}
 		out.PerDeployment = append(out.PerDeployment, res)
 		out.TotalColdStarts += coldStarts
 		out.Degraded += degraded
@@ -460,11 +526,24 @@ func (s *simulation) assemble() *Result {
 		st := n.cache.Stats()
 		out.PerNode = append(out.PerNode, NodeResult{ID: n.id, Launches: n.launches, Crashed: n.crashed, Cache: st})
 		out.Cache.Add(st)
+		// Nodes still hosting instances are charged to the last
+		// completion, mirroring the GPU-seconds convention above.
+		up := n.upTime
+		if n.liveInsts > 0 && s.lastDone > n.upSince {
+			up += s.lastDone - n.upSince
+		}
+		out.NodeSeconds += up.Seconds()
 	}
 	return out
 }
 
-func (s *simulation) autoscaleAll() error {
+// tick is the control plane's single evaluation point: every event
+// that can change demand or capacity (arrival, iteration end, idle
+// retirement, node crash) funnels here. Each deployment's desired
+// instance count comes from the pluggable autoscale policy, and
+// launches repeat round-robin until every policy is satisfied or no
+// node can host another instance.
+func (s *simulation) tick() error {
 	progress := true
 	for progress {
 		progress = false
@@ -523,6 +602,59 @@ func (s *simulation) placeNode(d *depState) *nodeState {
 	return best
 }
 
+// observe snapshots the deployment state an autoscaling policy sees at
+// a control tick.
+func (s *simulation) observe(di int) autoscale.Observation {
+	d := s.deps[di]
+	return autoscale.Observation{
+		Now:              s.now,
+		Outstanding:      d.outstanding,
+		Live:             d.live,
+		InstanceTarget:   d.cfg.Scheduler.InstanceTarget,
+		ProvisionLatency: d.provLatency,
+	}
+}
+
+// nodeAnchored reports whether the node hosts a live instance other
+// than except that is earning its keep — busy, or idle for less than
+// its deployment's retirement timeout. Instances that are themselves
+// retirement-overdue do not anchor: two overdue instances must not
+// keep each other's node up.
+func (s *simulation) nodeAnchored(node int, except *instState) bool {
+	for _, d := range s.deps {
+		for _, inst := range d.active {
+			if inst == except || inst.node != node || inst.retired {
+				continue
+			}
+			if !inst.idleNow(d.batched) || s.now-inst.idleSince < d.cfg.Scheduler.IdleTimeout {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// retainVeto asks a Retainer policy whether retiring this instance
+// would drop its deployment below the keep-warm floor. The veto only
+// applies while the instance's node is anchored by other work: warm
+// capacity is held when its marginal node-seconds cost is near zero,
+// and a node is never kept up solely on a forecast — an instance whose
+// node holds nothing but retirement-overdue peers retires on its idle
+// timeout exactly like the baseline. Policies without the optional
+// extension never veto, so the reactive and legacy paths keep
+// unconditional idle-timeout retirement byte for byte.
+func (s *simulation) retainVeto(inst *instState) bool {
+	r, ok := s.scaler.(autoscale.Retainer)
+	if !ok {
+		return false
+	}
+	if !s.nodeAnchored(inst.node, inst) {
+		return false
+	}
+	di := inst.dep
+	return s.deps[di].live-1 < r.Retain(di, s.observe(di))
+}
+
 // launchOne starts at most one instance for the deployment if demand
 // warrants and some node has free GPUs. The launch overlaps runtime
 // initialization with the node cache's artifact fetch: the node daemon
@@ -530,10 +662,7 @@ func (s *simulation) placeNode(d *depState) *nodeState {
 // when both are done.
 func (s *simulation) launchOne(di int) (bool, error) {
 	d := s.deps[di]
-	if d.outstanding == 0 {
-		return false, nil
-	}
-	desired := 1 + (d.outstanding-1)/d.cfg.Scheduler.InstanceTarget
+	desired := s.scaler.Desired(di, s.observe(di))
 	if d.live >= desired {
 		return false, nil
 	}
@@ -546,6 +675,7 @@ func (s *simulation) launchOne(di int) (bool, error) {
 	inst.launchedAt = s.now
 	node.gpusUsed += d.cfg.TPDegree
 	node.launches++
+	s.nodeUp(node)
 	d.active = append(d.active, inst)
 	d.cColdStarts.Inc()
 	d.live++
@@ -718,26 +848,107 @@ func (s *simulation) crashNode(id int) error {
 		s.retire(inst)
 	}
 	s.scratchCrash = doomed[:0]
-	if err := s.autoscaleAll(); err != nil {
+	if err := s.tick(); err != nil {
 		return err
 	}
 	return s.dispatchIdle()
 }
 
 // dispatchIdle starts iterations on ready instances that are idle and
-// have admissible work, walking each deployment's live instances in
-// launch order.
+// have admissible work. Without a router each deployment's live
+// instances are walked in launch order (the historical behavior); with
+// one, dispatchable instances are offered work in descending score
+// order, ties to the lowest instance id, so queued requests land on
+// the instances the policy ranks best.
 func (s *simulation) dispatchIdle() error {
 	for _, d := range s.deps {
-		for _, inst := range d.active {
-			if inst.ready && !inst.iterating {
-				if err := s.startIteration(inst); err != nil {
-					return err
+		if s.router == nil {
+			for _, inst := range d.active {
+				if inst.ready && !inst.iterating {
+					if err := s.startIteration(inst); err != nil {
+						return err
+					}
 				}
 			}
+			continue
+		}
+		if err := s.routeDispatch(d); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// routeDispatch scores a deployment's dispatchable instances and
+// starts iterations in rank order. Scores are computed once per
+// dispatch round: an earlier start in the round does not re-rank the
+// rest (the next event's round sees the updated state).
+func (s *simulation) routeDispatch(d *depState) error {
+	ready := s.scratchRoute[:0]
+	cands := s.scratchCands[:0]
+	for _, inst := range d.active {
+		if !inst.ready || inst.iterating {
+			continue
+		}
+		c, err := s.candidate(d, inst)
+		if err != nil {
+			return err
+		}
+		ready = append(ready, inst)
+		cands = append(cands, c)
+	}
+	s.scratchRoute, s.scratchCands = ready, cands
+	for _, i := range router.Rank(s.router, cands) {
+		if err := s.startIteration(ready[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// candidate snapshots one instance for the router: queue depth, KV
+// headroom, artifact locality of its node's cache, and a predicted
+// TTFT (the queue-deepened decode step a newly admitted request would
+// wait behind).
+func (s *simulation) candidate(d *depState, inst *instState) (router.Candidate, error) {
+	var depth int
+	var headroom float64
+	prof := s.profOf(inst)
+	if d.batched {
+		depth = inst.sch.Running() + inst.sch.PreemptedWaiting()
+		if total := d.batch.KVBlocks; total > 0 {
+			headroom = float64(inst.sch.KVFreeBlocks()) / float64(total)
+		}
+	} else {
+		depth = len(inst.running)
+		if max := prof.MaxKVTokens(); max > 0 {
+			headroom = float64(max-inst.kvTokens) / float64(max)
+		}
+	}
+	locality := 0.0
+	if d.key != "" {
+		tier, ok := s.nodes[inst.node].cache.Locate(d.key, s.now)
+		locality = localityScore(tier, ok)
+	}
+	// Predicted TTFT: each queued request deepens the batch a new
+	// arrival decodes in, so charge one decode step at depth+1 per
+	// queue position plus the new request's own (memoized per batch
+	// size — this is the hot dispatch path).
+	batch := depth + 1
+	if max := d.cfg.Scheduler.MaxBatch; max > 0 && batch > max {
+		batch = max
+	}
+	step, err := prof.DecodeStep(batch)
+	if err != nil {
+		return router.Candidate{}, err
+	}
+	return router.Candidate{
+		ID:         inst.id,
+		QueueDepth: depth,
+		KVHeadroom: headroom,
+		Locality:   locality,
+		PredTTFT:   (time.Duration(depth+1) * step).Seconds(),
+	}, nil
 }
 
 // admit moves pending requests of the instance's deployment into it up
@@ -832,9 +1043,15 @@ func (s *simulation) finishIteration(inst *instState) error {
 		if !r.ttftSeen {
 			r.ttftSeen = true
 			d.sTTFT.Add(s.now - r.Arrival)
+			if d.cSLOMet != nil && s.slo.TTFT > 0 && s.now-r.Arrival > s.slo.TTFT {
+				r.sloViolated = true
+			}
 		}
 		if r.emitted >= r.OutputTokens {
 			d.sE2E.Add(s.now - r.Arrival)
+			if d.cSLOMet != nil && !r.sloViolated {
+				d.cSLOMet.Inc()
+			}
 			d.cCompleted.Inc()
 			s.completed++
 			d.outstanding--
@@ -855,7 +1072,7 @@ func (s *simulation) finishIteration(inst *instState) error {
 	if len(inst.running) == 0 {
 		s.markIdle(inst)
 	}
-	if err := s.autoscaleAll(); err != nil {
+	if err := s.tick(); err != nil {
 		return err
 	}
 	return s.startIteration(inst)
@@ -983,12 +1200,22 @@ func (s *simulation) finishIterationBatched(inst *instState) error {
 				r.ttftSeen = true
 				r.firstTok = s.now
 				d.sTTFT.Add(s.now - r.Arrival)
+				if d.cSLOMet != nil && s.slo.TTFT > 0 && s.now-r.Arrival > s.slo.TTFT {
+					r.sloViolated = true
+				}
 			}
 		},
 		func(r *reqState) {
 			d.sE2E.Add(s.now - r.Arrival)
 			if r.OutputTokens > 1 {
-				d.sTPOT.Add((s.now - r.firstTok) / time.Duration(r.OutputTokens-1))
+				tpot := (s.now - r.firstTok) / time.Duration(r.OutputTokens-1)
+				d.sTPOT.Add(tpot)
+				if d.cSLOMet != nil && s.slo.TPOT > 0 && tpot > s.slo.TPOT {
+					r.sloViolated = true
+				}
+			}
+			if d.cSLOMet != nil && !r.sloViolated {
+				d.cSLOMet.Inc()
 			}
 			d.cCompleted.Inc()
 			s.completed++
@@ -1005,7 +1232,7 @@ func (s *simulation) finishIterationBatched(inst *instState) error {
 	if inst.sch.Idle() {
 		s.markIdle(inst)
 	}
-	if err := s.autoscaleAll(); err != nil {
+	if err := s.tick(); err != nil {
 		return err
 	}
 	return s.startIteration(inst)

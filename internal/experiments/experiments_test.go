@@ -36,7 +36,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig1", "fig2", "fig3", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"ablation-index", "ablation-copyfree", "ablation-resolve", "ablation-trigger",
 		"ext-checkpoint", "ext-multigpu", "ext-deferred", "ext-sensitivity",
-		"ext-capturesizes", "ext-hotspare", "ext-cache-policies", "ext-scale"}
+		"ext-capturesizes", "ext-hotspare", "ext-cache-policies", "ext-scale",
+		"ext-batching", "ext-fault-sweep", "ext-fleet"}
 	have := map[string]bool{}
 	for _, id := range IDs() {
 		have[id] = true

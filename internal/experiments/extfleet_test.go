@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// fleetRow is one parsed ext-fleet sweep cell.
+type fleetRow struct {
+	scaler, route string
+	skew          string
+	attainment    float64
+	nodeSeconds   float64
+}
+
+func parseFleetRows(t *testing.T, rows [][]string) []fleetRow {
+	t.Helper()
+	out := make([]fleetRow, 0, len(rows))
+	for _, row := range rows {
+		att, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("bad attainment %q", row[4])
+		}
+		ns, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatalf("bad node-seconds %q", row[5])
+		}
+		out = append(out, fleetRow{
+			scaler: row[0], route: row[1], skew: row[2],
+			attainment: att, nodeSeconds: ns,
+		})
+	}
+	return out
+}
+
+// TestExtFleetSweep runs the control-plane sweep and pins its headline
+// claim: on at least one cell, predictive autoscaling with the
+// locality-aware score router strictly dominates the reactive baseline
+// — higher SLO attainment at equal or lower node-seconds, against
+// every reactive row at the same skew. The experiment is seeded, so a
+// regression in any control-plane layer (forecaster, retention veto,
+// router scoring, placement) surfaces here as a lost dominance cell.
+func TestExtFleetSweep(t *testing.T) {
+	r := runExp(t, "ext-fleet")
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d, want 2 autoscalers × 2 routers × 2 skews", len(r.Rows))
+	}
+	rows := parseFleetRows(t, r.Rows)
+	dominated := false
+	for _, p := range rows {
+		if p.scaler != "predictive" || p.route != "score" {
+			continue
+		}
+		beatsAll := true
+		for _, q := range rows {
+			if q.scaler != "reactive" || q.skew != p.skew {
+				continue
+			}
+			if p.attainment <= q.attainment || p.nodeSeconds > q.nodeSeconds {
+				beatsAll = false
+				break
+			}
+		}
+		if beatsAll {
+			dominated = true
+			break
+		}
+	}
+	if !dominated {
+		t.Fatalf("no cell where predictive+score dominates the reactive baseline:\n%s", r.Render())
+	}
+}

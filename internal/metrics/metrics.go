@@ -171,7 +171,9 @@ func (s *Sample) P50() time.Duration { return s.Percentile(50) }
 // Summary is a point-in-time digest of a sample — the per-metric row a
 // registry dump or results table renders.
 type Summary struct {
-	Count                    int
+	// Count is how many values the sample holds.
+	Count int
+	// Mean, P50, P90, P99 and Max digest the sample's distribution.
 	Mean, P50, P90, P99, Max time.Duration
 }
 

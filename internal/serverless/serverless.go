@@ -145,6 +145,34 @@ type CacheSpec struct {
 	ArtifactPreloaded bool
 }
 
+// SLO sets per-request latency deadlines. The zero value disables SLO
+// accounting entirely; with either deadline set, the cluster simulator
+// tracks the fraction of completed requests meeting every configured
+// deadline (SLO attainment) as a first-class result.
+type SLO struct {
+	// TTFT is the time-to-first-token deadline (0 = unconstrained).
+	TTFT time.Duration
+	// TPOT is the time-per-output-token deadline, checked against each
+	// completed request's mean inter-token gap. Only batched execution
+	// mode measures TPOT; the legacy path ignores this deadline.
+	TPOT time.Duration
+}
+
+// Zero reports whether no deadline is configured.
+func (s SLO) Zero() bool { return s == SLO{} }
+
+// Validate checks the SLO sub-config, naming fields under the "SLO."
+// path.
+func (s SLO) Validate() error {
+	if s.TTFT < 0 {
+		return &ConfigError{Field: "SLO.TTFT", Reason: fmt.Sprintf("must be ≥ 0, got %v", s.TTFT)}
+	}
+	if s.TPOT < 0 {
+		return &ConfigError{Field: "SLO.TPOT", Reason: fmt.Sprintf("must be ≥ 0, got %v", s.TPOT)}
+	}
+	return nil
+}
+
 // FaultSpec groups fault injection. The sub-config exists so the
 // serverless and cluster configurations share one validation path and
 // one field-path namespace for fault options.
