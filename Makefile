@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint docs test test-race short bench bench-smoke batch-smoke fleet-smoke faults-smoke figures examples fuzz cover trace-demo clean
+.PHONY: all check build vet lint docs linkcheck test test-race short bench bench-smoke batch-smoke fleet-smoke faults-smoke figures examples fuzz cover trace-demo clean
 
 all: build test
 
 # One-stop verification: compile, vet, lint the determinism invariants,
-# full tests, race-detect everything, then the batched-execution and
-# fleet-control-plane smokes.
-check: build vet lint test test-race batch-smoke fleet-smoke
+# check the documentation's relative links, full tests, race-detect
+# everything, then the batched-execution and fleet-control-plane smokes.
+check: build vet lint linkcheck test test-race batch-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -29,12 +29,21 @@ lint:
 	timeout $(LINT_BUDGET) $(GO) run ./cmd/medusalint ./...
 
 # Godoc gate: fail on any undocumented exported identifier in the
-# packages whose APIs FAILURES.md and DESIGN.md document.
+# packages whose APIs FAILURES.md, DESIGN.md and docs/ARTIFACT_FORMAT.md
+# document.
 docs:
 	$(GO) run ./cmd/medusa-doccheck ./internal/faults ./internal/artifactcache \
 		./internal/cluster ./internal/serverless ./internal/sched ./internal/cliconfig \
 		./internal/eventq ./internal/workload ./internal/replicate \
-		./internal/autoscale ./internal/router ./internal/metrics
+		./internal/autoscale ./internal/router ./internal/metrics \
+		./internal/medusa ./internal/storage ./internal/engine
+
+# Doc-link gate: every relative markdown link in the top-level docs and
+# docs/ must resolve to an existing file (fragments stripped, absolute
+# URLs skipped).
+linkcheck:
+	$(GO) run ./cmd/medusa-linkcheck README.md DESIGN.md EXPERIMENTS.md \
+		FAILURES.md ROADMAP.md CHANGES.md docs
 
 test:
 	$(GO) test ./...
@@ -103,6 +112,9 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecode$$ -fuzztime 30s ./internal/medusa/
 	$(GO) test -run xxx -fuzz FuzzDecodeCorrupted -fuzztime 30s ./internal/medusa/
 	$(GO) test -run xxx -fuzz FuzzArtifactRoundTrip -fuzztime 30s ./internal/medusa/
+	$(GO) test -run xxx -fuzz FuzzTemplateRoundTrip -fuzztime 30s ./internal/medusa/
+	$(GO) test -run xxx -fuzz FuzzDeltaCorrupted -fuzztime 30s ./internal/medusa/
+	$(GO) test -run xxx -fuzz FuzzDecodeTemplate -fuzztime 30s ./internal/medusa/
 	$(GO) test -run xxx -fuzz FuzzEncodeDecode -fuzztime 30s ./internal/tokenizer/
 
 cover:

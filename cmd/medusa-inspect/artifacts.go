@@ -3,12 +3,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/medusa-repro/medusa/internal/artifactcache"
 	"github.com/medusa-repro/medusa/internal/engine"
+	"github.com/medusa-repro/medusa/internal/medusa"
 	"github.com/medusa-repro/medusa/internal/model"
 	"github.com/medusa-repro/medusa/internal/storage"
+	"github.com/medusa-repro/medusa/internal/vclock"
 )
 
 // runArtifacts implements the `artifacts` subcommand: materialize a set
@@ -21,12 +24,16 @@ func runArtifacts(args []string) error {
 	fs := flag.NewFlagSet("artifacts", flag.ExitOnError)
 	models := fs.String("models", "Qwen1.5-0.5B,Qwen1.5-4B,Llama2-13B",
 		"comma-separated model list to materialize and size")
+	templates := fs.Bool("templates", false,
+		"factor the listed artifacts into shared per-family templates and report per-section sharing ratios (v2 bytes / v3 delta bytes) and the fleet dedup factor")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	store := storage.NewStore(storage.DefaultArray())
 	net := artifactcache.DefaultNetwork()
+	var cfgs []model.Config
+	var arts []*medusa.Artifact
 	fmt.Printf("artifact inventory (cost-aware weight: fetch cost over %.1f GB/s + %v network, freq 1)\n\n",
 		net.Bandwidth/1e9, net.Latency)
 	for _, raw := range strings.Split(*models, ",") {
@@ -39,6 +46,8 @@ func runArtifacts(args []string) error {
 		if err != nil {
 			return err
 		}
+		cfgs = append(cfgs, cfg)
+		arts = append(arts, art)
 		sections, err := art.SectionSizes()
 		if err != nil {
 			return err
@@ -59,5 +68,76 @@ func runArtifacts(args []string) error {
 		}
 		fmt.Println()
 	}
+	if !*templates {
+		return nil
+	}
+	return reportSharing(store, cfgs, arts)
+}
+
+// reportSharing prints the template-factored view of the inventory: per
+// artifact, each wire section's self-contained (v2) size against its
+// delta-encoded (v3) size — the sharing ratio — plus the fleet-level
+// registry dedup factor (Σ v2 bytes over templates + Σ delta bytes).
+func reportSharing(store *storage.Store, cfgs []model.Config, arts []*medusa.Artifact) error {
+	fleet, err := engine.BuildFleetTemplates(store, vclock.New(), cfgs, arts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("template sharing (per-section ratio = v2 bytes / v3 delta bytes):")
+	var fullTotal, sharedTotal uint64
+	for i, cfg := range cfgs {
+		tmpl := fleet[cfg.Family]
+		full, err := arts[i].SectionSizes()
+		if err != nil {
+			return err
+		}
+		delta, err := arts[i].DeltaSectionSizes(tmpl)
+		if err != nil {
+			return err
+		}
+		byName := make(map[string]uint64, len(delta))
+		var deltaTotal uint64
+		for _, s := range delta {
+			byName[s.Name] = s.Bytes
+			deltaTotal += s.Bytes
+		}
+		var v2Total uint64
+		for _, s := range full {
+			v2Total += s.Bytes
+		}
+		fullTotal += v2Total
+		sharedTotal += deltaTotal
+		fmt.Printf("\n%s (family %s, template %s): %.2f MiB -> %.1f KiB delta (%.1fx)\n",
+			cfg.Name, cfg.Family, tmpl.ID(),
+			float64(v2Total)/(1<<20), float64(deltaTotal)/1024,
+			float64(v2Total)/float64(deltaTotal))
+		for _, s := range full {
+			if s.Name == "envelope" || s.Name == "section_crcs" {
+				continue
+			}
+			db, ok := byName[s.Name]
+			if !ok || db == 0 {
+				continue
+			}
+			fmt.Printf("  %-14s %10d B -> %8d B  %6.1fx\n", s.Name, s.Bytes, db,
+				float64(s.Bytes)/float64(db))
+		}
+	}
+	fams := make([]string, 0, len(fleet))
+	famBy := make(map[string]*medusa.Template, len(fleet))
+	for fam, t := range fleet {
+		fams = append(fams, string(fam))
+		famBy[string(fam)] = t
+	}
+	sort.Strings(fams)
+	fmt.Println()
+	for _, fam := range fams {
+		sz := uint64(len(famBy[fam].Encode()))
+		sharedTotal += sz
+		fmt.Printf("template %-10s %8.1f KiB (%s)\n", fam, float64(sz)/1024, famBy[fam].ID())
+	}
+	fmt.Printf("\nfleet dedup factor: %.2f MiB self-contained / %.2f MiB templates+deltas = %.1fx\n",
+		float64(fullTotal)/(1<<20), float64(sharedTotal)/(1<<20),
+		float64(fullTotal)/float64(sharedTotal))
 	return nil
 }

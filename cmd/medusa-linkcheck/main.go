@@ -1,0 +1,121 @@
+// Command medusa-linkcheck fails the build when a relative markdown
+// link in the repository's documentation points at a file that does not
+// exist. It parses markdown links syntactically (stdlib only), so it
+// needs no network and runs in milliseconds; `make check` gates CI with
+// it on the documents DESIGN.md and docs/ARTIFACT_FORMAT.md
+// cross-reference.
+//
+// Usage:
+//
+//	medusa-linkcheck README.md DESIGN.md docs
+//
+// Each argument is a markdown file or a directory scanned recursively
+// for *.md. A link's target resolves relative to the file containing
+// it; fragments (#section) are stripped before the existence check, and
+// absolute URLs (scheme://, mailto:) and pure in-page anchors (#...)
+// are skipped — the gate is about keeping relative paths honest as
+// files move, not about the public internet.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links [text](target); images use the
+// same tail, so ![alt](target) is covered by the same pattern.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: medusa-linkcheck <file-or-dir> [file-or-dir...]")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range os.Args[1:] {
+		fi, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if !fi.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(d.Name(), ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+	broken := 0
+	for _, f := range files {
+		for _, b := range checkFile(f) {
+			fmt.Println(b)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "medusa-linkcheck: %d broken relative link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// checkFile returns one line per broken relative link in a markdown
+// file, as file:line: prefixed messages.
+func checkFile(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	var broken []string
+	dir := filepath.Dir(path)
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		// Skip fenced code blocks: command examples routinely contain
+		// ](...)-shaped text that is not a link.
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skipTarget(target) {
+				continue
+			}
+			if h := strings.IndexByte(target, '#'); h >= 0 {
+				target = target[:h]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+				broken = append(broken, fmt.Sprintf("%s:%d: broken link %q", filepath.ToSlash(path), i+1, m[1]))
+			}
+		}
+	}
+	return broken
+}
+
+// skipTarget reports whether a link target is outside the checker's
+// scope: absolute URLs, mail links, and pure in-page anchors.
+func skipTarget(target string) bool {
+	return strings.Contains(target, "://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}

@@ -452,6 +452,41 @@ func (c *NodeCache) Fetch(now time.Duration, key string) (FetchResult, error) {
 	return FetchResult{Ready: ready, Tier: TierRemote, Bytes: size}, nil
 }
 
+// FetchPair obtains a template-factored artifact: the per-model delta
+// under key plus the shared per-architecture template under tmplKey.
+// Both transfers start at now in parallel (the node daemon pulls them
+// over independent connections) and the pair is ready when the later
+// one lands; each is cached, evicted and deduplicated as its own entry,
+// so one resident template serves every sibling model's delta. The
+// reported Tier and Coalesced describe the delta's fetch — the
+// per-model cost the placement policies reason about — while Ready and
+// Bytes cover the pair. An empty tmplKey degenerates to Fetch. A
+// template absent from the registry surfaces a typed
+// *faults.TemplateMissingError after one registry round trip (the 404),
+// so callers can degrade to a vanilla cold start.
+func (c *NodeCache) FetchPair(now time.Duration, key, tmplKey string) (FetchResult, error) {
+	if tmplKey == "" {
+		return c.Fetch(now, key)
+	}
+	if _, ok := c.remote.Size(tmplKey); !ok {
+		res := FetchResult{Ready: now + c.remote.FetchDuration(0), Tier: TierRemote}
+		return res, &faults.TemplateMissingError{Key: key, Template: tmplKey}
+	}
+	tres, err := c.Fetch(now, tmplKey)
+	if err != nil {
+		return tres, err
+	}
+	dres, err := c.Fetch(now, key)
+	if err != nil {
+		return dres, err
+	}
+	if tres.Ready > dres.Ready {
+		dres.Ready = tres.Ready
+	}
+	dres.Bytes += tres.Bytes
+	return dres, nil
+}
+
 // ssdReadFaults rolls the SSD-tier read fault per attempt, returning
 // the accumulated failed-read and backoff time and whether any attempt
 // finally served. Callers hold c.mu.

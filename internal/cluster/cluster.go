@@ -320,18 +320,22 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("cluster: profiling %s: %w", dep.Name, err)
 		}
 		dcfg = prof.Config()
-		key := ""
+		key, tmplKey := "", ""
 		if fetches {
 			key = artifactCacheKey(dcfg.Model.Name, dcfg.Strategy)
-			size := dcfg.Cache.ArtifactBytes
-			if size == 0 {
-				enc, err := dcfg.Cache.Artifact.Encode()
-				if err != nil {
-					return nil, fmt.Errorf("cluster: encoding %s artifact: %w", dep.Name, err)
-				}
-				size = uint64(len(enc))
+			size, err := dcfg.Cache.ColdFetchBytes()
+			if err != nil {
+				return nil, fmt.Errorf("cluster: encoding %s artifact: %w", dep.Name, err)
 			}
 			registry.RegisterSized(key, size)
+			if tmpl := dcfg.Cache.Template; tmpl != nil {
+				// The shared template registers once under its own ID
+				// (unsuffixed — every strategy and sibling model resolves
+				// the same object); re-registration by later deployments
+				// is idempotent.
+				tmplKey = tmpl.ID()
+				registry.RegisterSized(tmplKey, dcfg.Cache.EncodedTemplateBytes())
+			}
 		}
 		name := dep.Name
 		if name == "" {
@@ -363,6 +367,7 @@ func Run(cfg Config) (*Result, error) {
 			prof:     prof,
 			name:     name,
 			key:      key,
+			tmplKey:  tmplKey,
 			fallback: fallback,
 			batched:  batch.Enabled(),
 			batch:    batch,

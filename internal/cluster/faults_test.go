@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"github.com/medusa-repro/medusa/internal/artifactcache"
+	"github.com/medusa-repro/medusa/internal/engine"
 	"github.com/medusa-repro/medusa/internal/faults"
+	"github.com/medusa-repro/medusa/internal/medusa"
 	"github.com/medusa-repro/medusa/internal/serverless"
 	"github.com/medusa-repro/medusa/internal/workload"
 )
@@ -230,6 +232,131 @@ func TestClusterCrashRequeues(t *testing.T) {
 	// re-places work.
 	if res.Degraded != 0 {
 		t.Fatalf("crash-only plan degraded %d launches", res.Degraded)
+	}
+}
+
+// templated converts a Medusa deployment to the template-factored
+// form: its artifact re-encodes as a v3 delta against a per-family
+// template (here built from the deployment's own artifact — the
+// smallest valid fleet), so cold fetches pull template+delta and the
+// template fault sites are armed.
+func templated(t testing.TB, cfg serverless.Config) serverless.Config {
+	t.Helper()
+	tmpl, err := medusa.BuildTemplate(engine.TemplateKey(cfg.Model.Family), cfg.Cache.Artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cache.Template = tmpl
+	cfg.Cache.ArtifactBytes = 0 // recompute on demand: delta bytes, not the v2 size
+	return cfg
+}
+
+// templateFaultConfig is faultConfig with every deployment
+// template-factored.
+func templateFaultConfig(t *testing.T, plan *faults.Plan) Config {
+	cfg := faultConfig(t, plan)
+	for i := range cfg.Deployments {
+		cfg.Deployments[i].Config = templated(t, cfg.Deployments[i].Config)
+	}
+	return cfg
+}
+
+// TestClusterTemplateMissingDegrades pins satellite 4's fault contract:
+// when the shared template is absent from the registry, every launch
+// degrades to a vanilla cold start — after one wasted registry round
+// trip — and the run completes instead of aborting.
+func TestClusterTemplateMissingDegrades(t *testing.T) {
+	plan := &faults.Plan{TemplateMissing: faults.SiteSpec{Every: 1}}
+	cfg := templateFaultConfig(t, plan)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("missing template must degrade to vanilla cold start, not abort: %v", err)
+	}
+	total := 0
+	for _, d := range res.PerDeployment {
+		total += d.Completed
+		if d.ColdStarts == 0 {
+			t.Fatalf("deployment %s never cold-started", d.Name)
+		}
+		if d.Degraded != d.ColdStarts {
+			t.Fatalf("deployment %s: %d of %d launches degraded; a missing template should degrade all",
+				d.Name, d.Degraded, d.ColdStarts)
+		}
+		if got := int(d.Metrics.Counter("degraded_" + faults.ReasonTemplateMissing).Value()); got != d.Degraded {
+			t.Fatalf("deployment %s: degraded_template_missing %d != degraded %d", d.Name, got, d.Degraded)
+		}
+		// Phase attribution stays exact with the injected registry
+		// round trip mixed in.
+		if drift := d.ColdStartPhases.Total() - d.ColdStartTotal; drift != 0 {
+			t.Fatalf("deployment %s: phase attribution drifted by %v", d.Name, drift)
+		}
+	}
+	if want := submittedOf(cfg); total != want {
+		t.Fatalf("completed %d of %d submitted", total, want)
+	}
+}
+
+// TestClusterCorruptTemplateDegrades drives SiteArtifactCorrupt against
+// the template key: the fetched template fails its checksum, the cached
+// copy is discarded, and the launch falls back to a vanilla cold start.
+func TestClusterCorruptTemplateDegrades(t *testing.T) {
+	plan := &faults.Plan{ArtifactCorrupt: faults.SiteSpec{Every: 1}}
+	cfg := templateFaultConfig(t, plan)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("corrupt template must degrade, not abort: %v", err)
+	}
+	total := 0
+	for _, d := range res.PerDeployment {
+		total += d.Completed
+		if d.Degraded != d.ColdStarts {
+			t.Fatalf("deployment %s: %d of %d launches degraded", d.Name, d.Degraded, d.ColdStarts)
+		}
+		// On a templated deployment the corrupt draw lands on the
+		// template before the delta, so every degradation is
+		// template_corrupt, not corrupt_artifact.
+		if got := int(d.Metrics.Counter("degraded_" + faults.ReasonCorruptTemplate).Value()); got != d.Degraded {
+			t.Fatalf("deployment %s: degraded_template_corrupt %d != degraded %d", d.Name, got, d.Degraded)
+		}
+	}
+	if want := submittedOf(cfg); total != want {
+		t.Fatalf("completed %d of %d submitted", total, want)
+	}
+}
+
+// TestClusterTemplateFaultsDeterministic extends the determinism
+// contract to the template fault sites: fixed seed and plan render
+// byte-identical Results across repetitions and GOMAXPROCS settings.
+func TestClusterTemplateFaultsDeterministic(t *testing.T) {
+	plan := &faults.Plan{
+		Seed:            5,
+		TemplateMissing: faults.SiteSpec{Probability: 0.2},
+		ArtifactCorrupt: faults.SiteSpec{Probability: 0.2},
+		SSDRead:         faults.SiteSpec{Probability: 0.1},
+	}
+	run := func() (string, string) {
+		cfg := templateFaultConfig(t, plan)
+		tr := obsTracer()
+		cfg.Tracer = tr.tracer
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Render() + res.Metrics.Render(), tr.chrome(t)
+	}
+	r1, c1 := run()
+	r2, c2 := run()
+	if r1 != r2 {
+		t.Fatalf("rendered results differ across reps:\n--- run1\n%s\n--- run2\n%s", r1, r2)
+	}
+	if c1 != c2 {
+		t.Fatal("chrome exports differ across reps")
+	}
+	prev := runtime.GOMAXPROCS(1)
+	r3, c3 := run()
+	runtime.GOMAXPROCS(prev)
+	if r3 != r1 || c3 != c1 {
+		t.Fatal("template-faulted run differs under GOMAXPROCS=1")
 	}
 }
 

@@ -127,6 +127,11 @@ type depState struct {
 	// key is the deployment's artifact-cache key ("" when the strategy
 	// fetches no artifact through the cache).
 	key string
+	// tmplKey is the shared template's cache key when the deployment's
+	// artifact is template-factored ("" otherwise). Launches then fetch
+	// the (template, delta) pair; the template entry is shared across
+	// every sibling deployment of the architecture.
+	tmplKey string
 	// fallback is the vanilla cold-start profile degraded launches use
 	// (nil when no injector is attached or the strategy has no artifact).
 	fallback *serverless.Profile
@@ -693,9 +698,22 @@ func (s *simulation) launchOne(di int) (bool, error) {
 	loadStart := riEnd
 	prof := d.prof
 	var fetch artifactcache.FetchResult
-	if d.key != "" {
+	if d.key != "" && s.inj != nil && d.tmplKey != "" && d.fallback != nil &&
+		s.inj.Inject(faults.SiteTemplateMissing, d.tmplKey) {
+		// The registry lost the shared template (operator error, partial
+		// GC): the delta is undecodable without it, so after one registry
+		// round trip (the 404) the launch degrades to the vanilla stages.
+		known := s.now + s.cfg.Network.Latency
+		intervals = append(intervals, obs.Interval{
+			Phase: engine.StageRestoreFailed, Start: s.now, End: known})
+		if known > loadStart {
+			loadStart = known
+		}
+		s.degradeLaunch(d, inst, faults.ReasonTemplateMissing)
+		prof = d.fallback
+	} else if d.key != "" {
 		var err error
-		fetch, err = node.cache.Fetch(s.now, d.key)
+		fetch, err = node.cache.FetchPair(s.now, d.key, d.tmplKey)
 		if err != nil {
 			// The registry fetch exhausted its retry budget. The failed
 			// attempts still burned virtual time (fetch.Ready marks the
@@ -720,7 +738,14 @@ func (s *simulation) launchOne(di int) (bool, error) {
 				loadStart = fetch.Ready
 			}
 			if s.inj != nil && d.fallback != nil {
-				if s.inj.Inject(faults.SiteArtifactCorrupt, d.key) {
+				if d.tmplKey != "" && s.inj.Inject(faults.SiteArtifactCorrupt, d.tmplKey) {
+					// The shared template failed its envelope checksum: the
+					// delta cannot resolve against it, and the cached copy
+					// would poison every sibling launch on this node.
+					node.cache.Discard(d.tmplKey)
+					s.degradeLaunch(d, inst, faults.ReasonCorruptTemplate)
+					prof = d.fallback
+				} else if s.inj.Inject(faults.SiteArtifactCorrupt, d.key) {
 					// Checksum verification fails right after the read and
 					// decode: nothing beyond the fetch is wasted, but the
 					// untrusted cached copy must go.

@@ -146,6 +146,7 @@ func (s Strategy) Stages() []string { return append([]string(nil), strategyInfos
 // a materialized artifact.
 func (s Strategy) NeedsArtifact() bool { return strategyInfos[s].NeedsArtifact }
 
+// String returns the strategy's display name.
 func (s Strategy) String() string {
 	if info, ok := strategyInfos[s]; ok {
 		return info.Name
@@ -292,6 +293,7 @@ const (
 	TriggerHandwritten
 )
 
+// String returns the trigger mode's command-line name.
 func (m TriggerMode) String() string {
 	switch m {
 	case TriggerHandwritten:

@@ -19,6 +19,10 @@ import (
 // ArtifactKey is the store object name of a model's artifact.
 func ArtifactKey(modelName string) string { return "medusa/artifacts/" + modelName }
 
+// TemplateKey is the store/registry object name of an architecture
+// family's shared template — the template's ID, by convention.
+func TemplateKey(fam model.Family) string { return "medusa/templates/" + string(fam) }
+
 // OfflineOptions configures Medusa's offline phase.
 type OfflineOptions struct {
 	// Model selects the model to materialize.
@@ -307,4 +311,92 @@ func LoadArtifact(src ArtifactSource, clock *vclock.Clock, modelName string) (*m
 		return nil, 0, err
 	}
 	return art, uint64(len(raw)), nil
+}
+
+// LoadArtifactResolved fetches and decodes a model's artifact like
+// LoadArtifact, additionally resolving v3 (template+delta) containers
+// through resolve. The returned size covers only the artifact object's
+// own bytes — for a v3 container, the delta; the template's transfer is
+// charged by whoever resolved it (StoreResolver charges it once per
+// store). Self-contained v1/v2 artifacts never invoke the resolver.
+func LoadArtifactResolved(src ArtifactSource, clock *vclock.Clock, modelName string, resolve medusa.TemplateResolver) (*medusa.Artifact, uint64, error) {
+	raw, err := src.Get(clock, ArtifactKey(modelName))
+	if err != nil {
+		return nil, 0, err
+	}
+	art, err := medusa.DecodeResolved(raw, resolve)
+	if err != nil {
+		return nil, 0, err
+	}
+	return art, uint64(len(raw)), nil
+}
+
+// StoreResolver adapts a storage.Store into a medusa.TemplateResolver:
+// template IDs are store object names, fetched through Store.GetOnce so
+// the template read is charged once per store however many sibling
+// artifacts resolve against it (the single-process analogue of the
+// cluster cache's template sharing). Decode failures and unknown IDs
+// resolve to not-found — DecodeResolved then surfaces its typed
+// missing-template error and callers degrade to a vanilla cold start.
+func StoreResolver(store *storage.Store, clock *vclock.Clock) medusa.TemplateResolver {
+	cache := make(map[string]*medusa.Template)
+	var mu sync.Mutex
+	return func(id string) (*medusa.Template, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if t, ok := cache[id]; ok {
+			return t, t != nil
+		}
+		raw, err := store.GetOnce(clock, id)
+		if err != nil || raw == nil {
+			cache[id] = nil
+			return nil, false
+		}
+		t, err := medusa.DecodeTemplate(raw)
+		if err != nil {
+			cache[id] = nil
+			return nil, false
+		}
+		cache[id] = t
+		return t, true
+	}
+}
+
+// BuildFleetTemplates factors a fleet's artifacts into shared
+// per-architecture templates: one template per model family present,
+// derived from the family's reference artifact (the lexicographically
+// smallest model name, so the choice is independent of input order)
+// and stored under TemplateKey. Returns the templates by family.
+// Callers then re-encode each artifact with EncodeDelta against its
+// family's template and publish the deltas.
+func BuildFleetTemplates(store *storage.Store, clock *vclock.Clock, models []model.Config, arts []*medusa.Artifact) (map[model.Family]*medusa.Template, error) {
+	if len(models) != len(arts) {
+		return nil, fmt.Errorf("engine: %d models but %d artifacts", len(models), len(arts))
+	}
+	ref := make(map[model.Family]int)
+	for i, m := range models {
+		if arts[i] == nil {
+			return nil, fmt.Errorf("engine: model %s has no artifact", m.Name)
+		}
+		if j, ok := ref[m.Family]; !ok || m.Name < models[j].Name {
+			ref[m.Family] = i
+		}
+	}
+	fams := make([]model.Family, 0, len(ref))
+	for fam := range ref {
+		fams = append(fams, fam)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i] < fams[j] })
+	out := make(map[model.Family]*medusa.Template, len(fams))
+	for _, fam := range fams {
+		tmpl, err := medusa.BuildTemplate(TemplateKey(fam), arts[ref[fam]])
+		if err != nil {
+			return nil, fmt.Errorf("engine: building %s template: %w", fam, err)
+		}
+		if store != nil {
+			store.Put(clock, tmpl.ID(), tmpl.Encode())
+		}
+		out[fam] = tmpl
+	}
+	return out, nil
 }

@@ -37,7 +37,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-index", "ablation-copyfree", "ablation-resolve", "ablation-trigger",
 		"ext-checkpoint", "ext-multigpu", "ext-deferred", "ext-sensitivity",
 		"ext-capturesizes", "ext-hotspare", "ext-cache-policies", "ext-scale",
-		"ext-batching", "ext-fault-sweep", "ext-fleet"}
+		"ext-batching", "ext-fault-sweep", "ext-fleet", "ext-template"}
 	have := map[string]bool{}
 	for _, id := range IDs() {
 		have[id] = true

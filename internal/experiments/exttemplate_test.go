@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestExtTemplateSweep checks the acceptance criteria of the template
+// sharing extension: one row per fleet model plus one per family
+// template, a registry dedup factor at or above the 5x floor, and a
+// cold-fetch reduction over the same seeded trace.
+func TestExtTemplateSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet sweep skipped in -short mode")
+	}
+	r := runExp(t, "ext-template")
+	models, tmpls := 0, 0
+	for _, row := range r.Rows {
+		if len(row[0]) > len("template/") && row[0][:len("template/")] == "template/" {
+			tmpls++
+		} else {
+			models++
+		}
+	}
+	if models != len(cachePolicyModels) || tmpls != 3 {
+		t.Fatalf("rows = %d models + %d templates, want %d + 3", models, tmpls, len(cachePolicyModels))
+	}
+	if dedup := r.Metrics["registry_dedup_factor"]; dedup < 5 {
+		t.Fatalf("registry dedup factor %.2fx below the 5x acceptance floor", dedup)
+	}
+	if red := r.Metrics["cold_fetch_reduction"]; red <= 1 {
+		t.Fatalf("template factoring did not reduce cold-fetch traffic (%.2fx)", red)
+	}
+}
+
+// TestExtTemplateDeterministic pins the byte-identity acceptance
+// criterion: the sweep — template construction, delta encoding and two
+// full fleet simulations — renders byte-identically across repetitions
+// and GOMAXPROCS settings at fixed seeds.
+func TestExtTemplateDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet sweep skipped in -short mode")
+	}
+	first := runExp(t, "ext-template").Render()
+	if second := runExp(t, "ext-template").Render(); second != first {
+		t.Fatalf("ext-template output differs across reps:\n--- run1\n%s\n--- run2\n%s", first, second)
+	}
+	prev := runtime.GOMAXPROCS(1)
+	third := runExp(t, "ext-template").Render()
+	runtime.GOMAXPROCS(prev)
+	if third != first {
+		t.Fatalf("ext-template output depends on GOMAXPROCS:\n--- parallel\n%s\n--- sequential\n%s", first, third)
+	}
+}

@@ -66,6 +66,43 @@ func (e *RestoreMismatchError) Error() string {
 	return fmt.Sprintf("faults: restore of %q diverged at %q; materialized state untrusted", e.Key, e.Label)
 }
 
+// TemplateMissingError reports that a v3 (template+delta) artifact
+// references an architecture template the resolver cannot supply — not
+// in the registry, or no resolver at all. The delta alone cannot be
+// restored, so the launch degrades to the vanilla cold start.
+type TemplateMissingError struct {
+	// Key identifies the artifact whose delta needed the template
+	// (empty when decode failed before the model name was known).
+	Key string
+	// Template is the missing template's ID.
+	Template string
+}
+
+// Error implements error.
+func (e *TemplateMissingError) Error() string {
+	return fmt.Sprintf("faults: artifact %q references template %q, which is missing", e.Key, e.Template)
+}
+
+// TemplateMismatchError reports that a resolved template does not match
+// what the artifact's delta was encoded against — a body-CRC skew, or a
+// template/delta format-version skew. Applying a delta against the
+// wrong template bytes would silently build wrong graphs, so resolution
+// refuses and the launch degrades to the vanilla cold start.
+type TemplateMismatchError struct {
+	// Key identifies the artifact whose delta pinned the template
+	// (empty when decode failed before the model name was known).
+	Key string
+	// Template is the mismatching template's ID.
+	Template string
+	// Detail carries the decoder's diagnostic (CRC values or versions).
+	Detail string
+}
+
+// Error implements error.
+func (e *TemplateMismatchError) Error() string {
+	return fmt.Sprintf("faults: artifact %q does not match template %q: %s", e.Key, e.Template, e.Detail)
+}
+
 // DegradeReason maps an error to the DegradedReason a survivable
 // launch records, and reports whether the error is degradable at all.
 // Non-degradable errors (nil, or genuine bugs) propagate as failures.
@@ -85,6 +122,14 @@ func DegradeReason(err error) (string, bool) {
 	var mismatch *RestoreMismatchError
 	if errors.As(err, &mismatch) {
 		return ReasonRestoreMismatch, true
+	}
+	var tmplMissing *TemplateMissingError
+	if errors.As(err, &tmplMissing) {
+		return ReasonTemplateMissing, true
+	}
+	var tmplMismatch *TemplateMismatchError
+	if errors.As(err, &tmplMismatch) {
+		return ReasonTemplateMismatch, true
 	}
 	return "", false
 }

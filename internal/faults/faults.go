@@ -53,11 +53,17 @@ const (
 	// longer matches the artifact, so the instance discards the restore
 	// and degrades to the vanilla cold start — §4's fallback.
 	SiteRestoreMismatch Site = "restore_mismatch"
+	// SiteTemplateMissing makes the shared architecture template of a
+	// template+delta deployment vanish from the registry (a
+	// TemplateMissingError): the per-model delta alone cannot be
+	// restored, so the launch degrades to the vanilla cold start.
+	// Fires only for deployments using template-factored artifacts.
+	SiteTemplateMissing Site = "template_missing"
 )
 
 // Sites lists every injection site in documentation order.
 func Sites() []Site {
-	return []Site{SiteArtifactCorrupt, SiteRegistryTimeout, SiteSSDRead, SiteRestoreMismatch}
+	return []Site{SiteArtifactCorrupt, SiteRegistryTimeout, SiteSSDRead, SiteRestoreMismatch, SiteTemplateMissing}
 }
 
 // Degradation reasons recorded on Results when a launch survives an
@@ -75,6 +81,16 @@ const (
 	// ReasonSSDReadFailed marks a launch whose local artifact read
 	// exhausted its retry budget.
 	ReasonSSDReadFailed = "ssd_read_failed"
+	// ReasonTemplateMissing marks a launch whose delta-encoded artifact
+	// referenced a template absent from the registry.
+	ReasonTemplateMissing = "template_missing"
+	// ReasonTemplateMismatch marks a launch whose delta-encoded
+	// artifact pinned a different template than the registry served
+	// (CRC or format-version skew).
+	ReasonTemplateMismatch = "template_mismatch"
+	// ReasonCorruptTemplate marks a launch whose fetched architecture
+	// template failed checksum verification.
+	ReasonCorruptTemplate = "template_corrupt"
 )
 
 // Duration is a time.Duration that marshals to and from JSON as a Go
@@ -165,6 +181,9 @@ type Plan struct {
 	SSDRead SiteSpec `json:"ssd_read,omitempty"`
 	// RestoreMismatch configures SiteRestoreMismatch.
 	RestoreMismatch SiteSpec `json:"restore_mismatch,omitempty"`
+	// TemplateMissing configures SiteTemplateMissing (draws happen only
+	// for deployments whose artifact is template-factored).
+	TemplateMissing SiteSpec `json:"template_missing,omitempty"`
 	// TimeoutDelay is the virtual time one timed-out fetch attempt
 	// burns before its failure is known. Zero means "the full transfer
 	// duration" — a stall detected only at the deadline.
@@ -187,6 +206,8 @@ func (p Plan) Spec(site Site) SiteSpec {
 		return p.SSDRead
 	case SiteRestoreMismatch:
 		return p.RestoreMismatch
+	case SiteTemplateMissing:
+		return p.TemplateMissing
 	}
 	return SiteSpec{}
 }

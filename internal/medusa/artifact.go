@@ -119,10 +119,22 @@ type Artifact struct {
 	KV KVRecord
 }
 
-// CurrentFormatVersion is the artifact wire version this build writes.
-// v2 added the per-section checksum trailer that lets the decoder name
-// the first damaged section of a corrupt artifact (see wire.go).
+// CurrentFormatVersion is the self-contained artifact wire version
+// this build writes (Encode). v2 added the per-section checksum
+// trailer that lets the decoder name the first damaged section of a
+// corrupt artifact (see wire.go). Decode also accepts v1 (no trailer;
+// re-encodes as v2) and, through DecodeResolved, the v3 template+delta
+// container. docs/ARTIFACT_FORMAT.md is the normative spec.
 const CurrentFormatVersion = 2
+
+// DeltaFormatVersion is the v3 template+delta container version
+// written by EncodeDelta: section payloads are delta-encoded against a
+// shared per-architecture Template referenced by ID and body CRC.
+const DeltaFormatVersion = 3
+
+// legacyFormatVersion is the original trailer-less encoding, kept
+// decodable for old registries; decoded artifacts normalize to v2.
+const legacyFormatVersion = 1
 
 // Graph returns the record for a batch size.
 func (a *Artifact) Graph(batch int) (*GraphRecord, bool) {
@@ -165,8 +177,10 @@ func (a *Artifact) LabelIndex(label string) (int, bool) {
 // PointerStats counts parameters by class — the materialization
 // inventory reported by inspection tooling.
 type PointerStats struct {
+	// Constants counts parameters classified as embedded scalar values.
 	Constants int
-	Pointers  int
+	// Pointers counts parameters classified as device addresses.
+	Pointers int
 }
 
 // Stats tallies parameter classes over all graphs.

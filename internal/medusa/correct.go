@@ -19,7 +19,9 @@ import (
 // misclassified scalar is misclassified everywhere the kernel appears,
 // so corrections apply group-wide.
 type ParamGroup struct {
+	// KernelName is the kernel whose parameter slot the group spans.
 	KernelName string
+	// ParamIndex is the zero-based argument slot within that kernel.
 	ParamIndex int
 }
 

@@ -1,0 +1,192 @@
+package medusa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary delta codec for the v3 (template+delta) artifact container.
+//
+// A delta rewrites a target byte string in terms of a source byte
+// string as a flat little-endian op stream:
+//
+//	COPY (0x01): uvarint zigzag(offset − cursor) | uvarint length
+//	ADD  (0x02): uvarint length | <length raw bytes>
+//
+// The cursor tracks the "aligned" source position: it starts at 0 and
+// advances with every op (by the copied length for COPY, by the added
+// length for ADD). Artifact sections of sibling models — and the
+// per-batch graphs of one model — differ almost exclusively by
+// in-place substitutions (a dimension or batch scalar replaced by
+// another of the same width), so the common case is ADD(4) followed by
+// COPY with a zero offset zigzag: ~10 delta bytes per divergence site
+// however long the matching runs between sites are.
+//
+// The encoder is deterministic: a greedy aligned-extension scan with a
+// seed-hash index fallback for insertions/deletions, no randomness, no
+// map iteration. Determinism is load-bearing — encode→decode→encode
+// over a fixed template must be a byte-level fixed point (the v3
+// fuzzer enforces it), and registry footprints derived from delta
+// sizes must be identical across runs and GOMAXPROCS.
+
+const (
+	deltaOpCopy = 0x01
+	deltaOpAdd  = 0x02
+
+	// deltaSeedLen is the probe width of the source index.
+	deltaSeedLen = 8
+	// deltaMinAligned is the shortest run worth a COPY op at the
+	// aligned cursor position (op overhead is ~3 bytes).
+	deltaMinAligned = 8
+	// deltaMinSeed is the shortest run worth a COPY op that moves the
+	// cursor (offset zigzag costs more, and a spurious jump desyncs
+	// the aligned scan).
+	deltaMinSeed = 16
+	// deltaMaxCandidates caps positions indexed per seed value.
+	deltaMaxCandidates = 8
+)
+
+// deltaEncode computes a delta that rewrites tgt in terms of src.
+// deltaApply(src, deltaEncode(src, tgt)) == tgt for every input pair;
+// the encoding is a pure deterministic function of (src, tgt).
+func deltaEncode(src, tgt []byte) []byte {
+	var out []byte
+	var lit []byte // pending ADD bytes
+
+	flushLit := func() {
+		if len(lit) == 0 {
+			return
+		}
+		out = append(out, deltaOpAdd)
+		out = binary.AppendUvarint(out, uint64(len(lit)))
+		out = append(out, lit...)
+		lit = lit[:0]
+	}
+	emitCopy := func(off, n, cursor int) {
+		flushLit()
+		out = append(out, deltaOpCopy)
+		d := int64(off - cursor)
+		out = binary.AppendUvarint(out, uint64((d<<1)^(d>>63)))
+		out = binary.AppendUvarint(out, uint64(n))
+	}
+
+	// Seed index over src, first deltaMaxCandidates positions per seed.
+	var index map[uint64][]int32
+	if len(src) >= deltaSeedLen {
+		index = make(map[uint64][]int32, len(src)/4)
+		for i := 0; i+deltaSeedLen <= len(src); i++ {
+			h := binary.LittleEndian.Uint64(src[i:])
+			if cands := index[h]; len(cands) < deltaMaxCandidates {
+				index[h] = append(cands, int32(i))
+			}
+		}
+	}
+
+	matchLen := func(si, ti int) int {
+		n := 0
+		for si+n < len(src) && ti+n < len(tgt) && src[si+n] == tgt[ti+n] {
+			n++
+		}
+		return n
+	}
+
+	cursor, t := 0, 0
+	for t < len(tgt) {
+		// Aligned extension: the overwhelmingly common case after an
+		// in-place substitution.
+		if cursor < len(src) {
+			if run := matchLen(cursor, t); run >= deltaMinAligned {
+				emitCopy(cursor, run, cursor)
+				cursor += run
+				t += run
+				continue
+			}
+		}
+		// Seed resync: insertions, deletions, and reordered content.
+		if index != nil && t+deltaSeedLen <= len(tgt) {
+			h := binary.LittleEndian.Uint64(tgt[t:])
+			bestPos, bestRun := -1, 0
+			for _, p := range index[h] {
+				if run := matchLen(int(p), t); run > bestRun {
+					bestPos, bestRun = int(p), run
+				}
+			}
+			if bestRun >= deltaMinSeed {
+				emitCopy(bestPos, bestRun, cursor)
+				cursor = bestPos + bestRun
+				t += bestRun
+				continue
+			}
+		}
+		lit = append(lit, tgt[t])
+		t++
+		cursor++
+	}
+	flushLit()
+	return out
+}
+
+// deltaApply reconstructs the target from src and a delta, bounding the
+// output at wantLen bytes. It never panics: malformed ops, out-of-range
+// copies and oversized outputs return descriptive errors (the v3
+// decoder wraps them in the typed corruption error).
+func deltaApply(src, delta []byte, wantLen int) ([]byte, error) {
+	if wantLen < 0 {
+		return nil, fmt.Errorf("negative delta output length %d", wantLen)
+	}
+	out := make([]byte, 0, wantLen)
+	cursor := 0
+	off := 0
+	uvarint := func() (uint64, bool) {
+		v, n := binary.Uvarint(delta[off:])
+		if n <= 0 {
+			return 0, false
+		}
+		off += n
+		return v, true
+	}
+	for off < len(delta) {
+		op := delta[off]
+		off++
+		switch op {
+		case deltaOpCopy:
+			zz, ok := uvarint()
+			if !ok {
+				return nil, fmt.Errorf("truncated copy offset at delta byte %d", off)
+			}
+			n64, ok := uvarint()
+			if !ok {
+				return nil, fmt.Errorf("truncated copy length at delta byte %d", off)
+			}
+			rel := int64(zz>>1) ^ -int64(zz&1)
+			srcOff := int64(cursor) + rel
+			n := int64(n64)
+			if srcOff < 0 || n < 0 || srcOff+n > int64(len(src)) {
+				return nil, fmt.Errorf("copy [%d,%d) outside %d-byte source", srcOff, srcOff+n, len(src))
+			}
+			if len(out)+int(n) > wantLen {
+				return nil, fmt.Errorf("delta output exceeds declared %d bytes", wantLen)
+			}
+			out = append(out, src[srcOff:srcOff+n]...)
+			cursor = int(srcOff + n)
+		case deltaOpAdd:
+			n64, ok := uvarint()
+			if !ok {
+				return nil, fmt.Errorf("truncated add length at delta byte %d", off)
+			}
+			n := int(n64)
+			if n < 0 || off+n > len(delta) {
+				return nil, fmt.Errorf("add of %d bytes overruns %d-byte delta", n64, len(delta))
+			}
+			if len(out)+n > wantLen {
+				return nil, fmt.Errorf("delta output exceeds declared %d bytes", wantLen)
+			}
+			out = append(out, delta[off:off+n]...)
+			off += n
+			cursor += n
+		default:
+			return nil, fmt.Errorf("unknown delta op %#x at byte %d", op, off-1)
+		}
+	}
+	return out, nil
+}

@@ -216,6 +216,163 @@ func TestDecodeCorruptLocalizesSection(t *testing.T) {
 	}
 }
 
+// FuzzTemplateRoundTrip is the v3 analogue of FuzzArtifactRoundTrip:
+// build a template from one structure-fuzzed artifact, delta-encode a
+// second (independently fuzzed) artifact against it, and require the
+// template-resolved decode to be lossless and both encodings to be
+// canonical fixed points — including across the v2/v3 boundary, where
+// the resolved artifact's self-contained encoding must be byte-equal
+// to encoding the original directly.
+func FuzzTemplateRoundTrip(f *testing.F) {
+	f.Add(int64(1), int64(2), uint8(3), uint8(2), uint8(4), false)
+	f.Add(int64(9), int64(9), uint8(5), uint8(3), uint8(3), true) // self-delta
+	f.Add(int64(3), int64(-8), uint8(0), uint8(0), uint8(0), false)
+	f.Add(int64(100), int64(7), uint8(1), uint8(3), uint8(1), true)
+
+	f.Fuzz(func(t *testing.T, refSeed, tgtSeed int64, nAlloc, nGraphs, nKernels uint8, omitContents bool) {
+		ref := buildFuzzArtifact(rand.New(rand.NewSource(refSeed)), int(nAlloc%9)+1, int(nGraphs%4), int(nKernels%6), omitContents)
+		tgt := buildFuzzArtifact(rand.New(rand.NewSource(tgtSeed)), int(nAlloc%9)+1, int(nGraphs%4), int(nKernels%6), omitContents)
+		tmpl, err := BuildTemplate("medusa/templates/fuzz", ref)
+		if err != nil {
+			t.Fatalf("template from valid artifact: %v", err)
+		}
+		delta, err := tgt.EncodeDelta(tmpl)
+		if err != nil {
+			t.Fatalf("delta-encoding valid artifact: %v", err)
+		}
+		resolve := func(id string) (*Template, bool) {
+			if id == tmpl.ID() {
+				return tmpl, true
+			}
+			return nil, false
+		}
+		decoded, err := DecodeResolved(delta, resolve)
+		if err != nil {
+			t.Fatalf("template-resolved decode: %v", err)
+		}
+		if !reflect.DeepEqual(tgt, decoded) {
+			t.Fatalf("v3 round trip is lossy:\nencoded %+v\ndecoded %+v", tgt, decoded)
+		}
+		v2, err := tgt.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		crossV2, err := decoded.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(v2, crossV2) {
+			t.Fatal("decode(v3) does not re-encode to the original v2 bytes")
+		}
+		reDelta, err := decoded.EncodeDelta(tmpl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(delta, reDelta) {
+			t.Fatal("delta encoding is not canonical: re-encoding a resolved artifact differs")
+		}
+		// The template's own encoding must also be a fixed point.
+		tmpl2, err := DecodeTemplate(tmpl.Encode())
+		if err != nil {
+			t.Fatalf("re-decoding an encoded template: %v", err)
+		}
+		if !bytes.Equal(tmpl.Encode(), tmpl2.Encode()) {
+			t.Fatal("template encode → decode → encode is not a fixed point")
+		}
+	})
+}
+
+// FuzzDeltaCorrupted is FuzzDecodeCorrupted for v3 containers: flip one
+// byte of a valid template+delta encoding (optionally truncate) and
+// require the resolved decode to fail with a typed, section-localized
+// error — never a panic, never a silently wrong artifact.
+func FuzzDeltaCorrupted(f *testing.F) {
+	f.Add(int64(1), uint32(20), uint8(0xff), uint16(0))
+	f.Add(int64(2), uint32(0), uint8(1), uint16(0))
+	f.Add(int64(3), uint32(5), uint8(0x80), uint16(4))
+	f.Add(int64(4), uint32(1<<31), uint8(7), uint16(100))
+
+	f.Fuzz(func(t *testing.T, seed int64, pos uint32, mask uint8, truncate uint16) {
+		rng := rand.New(rand.NewSource(seed))
+		ref := buildFuzzArtifact(rng, 3, 2, 2, false)
+		tgt := buildFuzzArtifact(rng, 3, 2, 2, false)
+		tmpl, err := BuildTemplate("medusa/templates/fuzz", ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := tgt.EncodeDelta(tmpl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mask == 0 {
+			mask = 1
+		}
+		idx := int(pos % uint32(len(raw)))
+		mut := append([]byte(nil), raw...)
+		mut[idx] ^= mask
+		if truncate > 0 {
+			mut = mut[:len(mut)-int(uint32(truncate)%uint32(len(mut)))]
+		}
+		resolve := func(id string) (*Template, bool) {
+			if id == tmpl.ID() {
+				return tmpl, true
+			}
+			return nil, false
+		}
+		decoded, err := DecodeResolved(mut, resolve)
+		if err == nil {
+			t.Fatalf("corrupting byte %d (mask %#x, truncate %d) decoded cleanly: %+v", idx, mask, truncate, decoded)
+		}
+		if truncate == 0 && idx >= 16 {
+			// A body flip leaves the envelope parseable, so the failure
+			// must be one of the typed template-path errors — a checksum
+			// hit localized to a wire section, or (if the flip lands in
+			// the template reference and dodges every CRC, which it
+			// cannot) a missing/mismatched template.
+			var corrupt *faults.ArtifactCorruptError
+			if !errors.As(err, &corrupt) {
+				t.Fatalf("body flip at %d surfaced %T (%v), want *faults.ArtifactCorruptError", idx, err, err)
+			}
+			if corrupt.Section == "" {
+				t.Fatalf("corrupt error without a section: %v", corrupt)
+			}
+		}
+	})
+}
+
+// FuzzDecodeTemplate hardens the template parser the way FuzzDecode
+// hardens the artifact parser: arbitrary bytes never panic, and
+// anything that decodes must re-encode canonically.
+func FuzzDecodeTemplate(f *testing.F) {
+	rng := rand.New(rand.NewSource(17))
+	art := buildFuzzArtifact(rng, 3, 2, 2, false)
+	tmpl, err := BuildTemplate("medusa/templates/fuzz", art)
+	if err != nil {
+		f.Fatal(err)
+	}
+	raw := tmpl.Encode()
+	f.Add(raw)
+	f.Add(raw[:16])
+	f.Add([]byte("MDST"))
+	f.Add([]byte{})
+	f.Add(append([]byte(nil), raw[:len(raw)/2]...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := DecodeTemplate(data)
+		if err != nil {
+			return
+		}
+		re := decoded.Encode()
+		again, err := DecodeTemplate(re)
+		if err != nil {
+			t.Fatalf("re-encoded template fails to decode: %v", err)
+		}
+		if !bytes.Equal(re, again.Encode()) {
+			t.Fatal("template encode → decode → encode is not a fixed point")
+		}
+	})
+}
+
 // FuzzArtifactRoundTrip is the structure-aware complement to FuzzDecode:
 // it constructs valid artifacts from fuzzed shape parameters and
 // asserts the wire format is lossless (decode returns a deeply equal

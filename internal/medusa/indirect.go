@@ -33,6 +33,7 @@ type IndirectPointerWarning struct {
 	TargetIndex int
 }
 
+// String renders the warning the way the offline report prints it.
 func (w IndirectPointerWarning) String() string {
 	return fmt.Sprintf("allocation %d offset %d holds %#x, which points into allocation %d",
 		w.AllocIndex, w.Offset, w.Value, w.TargetIndex)

@@ -10,15 +10,20 @@ import (
 	"github.com/medusa-repro/medusa/internal/faults"
 )
 
-// Artifact wire format (v2):
+// Artifact wire format (normative spec: docs/ARTIFACT_FORMAT.md):
 //
 //	"MDSA" | u32 version | u32 bodyLen | u32 crc32(body) | body
 //
-// The body is a flat little-endian encoding of the artifact's six
-// sections followed by a checksum trailer:
+// For the self-contained versions (v1, v2) the body is a flat
+// little-endian encoding of the artifact's six sections, followed in
+// v2 by a checksum trailer:
 //
 //	header | alloc_seq | graphs | kernel_table | permanent | kv_record
 //	| u8 sectionCount | sectionCount × u32 crc32(section)
+//
+// v3 (template.go) replaces the section payloads with deltas against a
+// shared per-architecture template, prefixed by a template_ref section
+// and covered by the same per-section trailer scheme.
 //
 // The envelope CRC guards against torn or corrupted artifact files:
 // restoring from a damaged artifact must fail loudly, never silently
@@ -144,23 +149,8 @@ func (a *Artifact) encodeBody(w *wireWriter, mark func(section string)) {
 	mark("alloc_seq")
 
 	w.u32(uint32(len(a.Graphs)))
-	for _, g := range a.Graphs {
-		w.u32(uint32(g.Batch))
-		w.u32(uint32(len(g.Nodes)))
-		for _, n := range g.Nodes {
-			w.str(n.KernelName)
-			w.u32(uint32(len(n.Deps)))
-			for _, d := range n.Deps {
-				w.u32(uint32(d))
-			}
-			w.u32(uint32(len(n.Params)))
-			for _, p := range n.Params {
-				w.bytes(p.Raw)
-				w.boolean(p.Pointer)
-				w.u32(uint32(p.AllocIndex))
-				w.u64(p.Offset)
-			}
-		}
+	for i := range a.Graphs {
+		encodeGraph(w, &a.Graphs[i])
 	}
 	mark("graphs")
 
@@ -193,6 +183,30 @@ func (a *Artifact) encodeBody(w *wireWriter, mark func(section string)) {
 	w.u32(uint32(a.KV.NumBlocks))
 	w.u64(a.KV.BlockBytes)
 	mark("kv_record")
+}
+
+// encodeGraph writes one materialized graph. Shared between the v2
+// body walk and the v3 per-graph delta chunking: the graphs section
+// body is exactly u32 count followed by these graph encodings, so the
+// v3 decoder can splice resolved graph bodies back into a bit-exact v2
+// section.
+func encodeGraph(w *wireWriter, g *GraphRecord) {
+	w.u32(uint32(g.Batch))
+	w.u32(uint32(len(g.Nodes)))
+	for _, n := range g.Nodes {
+		w.str(n.KernelName)
+		w.u32(uint32(len(n.Deps)))
+		for _, d := range n.Deps {
+			w.u32(uint32(d))
+		}
+		w.u32(uint32(len(n.Params)))
+		for _, p := range n.Params {
+			w.bytes(p.Raw)
+			w.boolean(p.Pointer)
+			w.u32(uint32(p.AllocIndex))
+			w.u64(p.Offset)
+		}
+	}
 }
 
 // encodeBodyChecksummed writes the body sections via encodeBody, then
@@ -257,14 +271,47 @@ func (a *Artifact) Encode() ([]byte, error) {
 	return out, nil
 }
 
-// Decode parses an artifact, verifying magic, version, the envelope
-// checksum, and every per-section checksum. Checksum failures return a
-// *faults.ArtifactCorruptError naming the first damaged section (best
-// effort — "body" when the damage prevents even locating sections);
-// structural failures (truncation, limit violations, trailing bytes)
-// return descriptive plain errors. Decode never panics, whatever the
-// input.
+// EncodeLegacyV1 serializes the artifact in the original trailer-less
+// v1 layout. Kept (and exercised by the cross-version tests and
+// fuzzers) so registries written before the v2 per-section trailer
+// remain readable; new artifacts always encode as v2 or v3.
+func EncodeLegacyV1(a *Artifact) ([]byte, error) {
+	if err := a.validate(); err != nil {
+		return nil, fmt.Errorf("medusa: refusing to encode inconsistent artifact: %w", err)
+	}
+	var w wireWriter
+	a.encodeBody(&w, func(string) {})
+	body := w.buf.Bytes()
+	out := make([]byte, 0, len(body)+16)
+	out = append(out, wireMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, legacyFormatVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
+	return append(out, body...), nil
+}
+
+// Decode parses a self-contained (v1 or v2) artifact, verifying magic,
+// version, the envelope checksum, and (v2) every per-section checksum.
+// Checksum failures return a *faults.ArtifactCorruptError naming the
+// first damaged section (best effort — "body" when the damage prevents
+// even locating sections); structural failures (truncation, limit
+// violations, trailing bytes) return descriptive plain errors. A v3
+// (template+delta) input returns a typed *faults.TemplateMissingError:
+// its template must be supplied through DecodeResolved. Decode never
+// panics, whatever the input. The normative wire-format spec lives in
+// docs/ARTIFACT_FORMAT.md.
 func Decode(p []byte) (*Artifact, error) {
+	return DecodeResolved(p, nil)
+}
+
+// DecodeResolved parses an artifact of any supported wire version,
+// resolving v3 template references through resolve. Decoded artifacts
+// are normalized to the current self-contained version: re-encoding
+// with Encode always writes v2, and re-encoding with EncodeDelta
+// against the same template reproduces the v3 bytes exactly. A nil
+// resolver decodes v1/v2 only (v3 surfaces the typed missing-template
+// error). Like Decode, it never panics.
+func DecodeResolved(p []byte, resolve TemplateResolver) (*Artifact, error) {
 	if len(p) < 16 {
 		return nil, fmt.Errorf("medusa: artifact of %d bytes is shorter than its header", len(p))
 	}
@@ -272,8 +319,10 @@ func Decode(p []byte) (*Artifact, error) {
 		return nil, fmt.Errorf("medusa: bad artifact magic %q", p[:4])
 	}
 	version := binary.LittleEndian.Uint32(p[4:8])
-	if version != CurrentFormatVersion {
-		return nil, fmt.Errorf("medusa: artifact format v%d not supported (want v%d)", version, CurrentFormatVersion)
+	switch version {
+	case legacyFormatVersion, CurrentFormatVersion, DeltaFormatVersion:
+	default:
+		return nil, fmt.Errorf("medusa: artifact format v%d not supported (≤ v%d)", version, DeltaFormatVersion)
 	}
 	bodyLen := binary.LittleEndian.Uint32(p[8:12])
 	wantCRC := binary.LittleEndian.Uint32(p[12:16])
@@ -282,18 +331,27 @@ func Decode(p []byte) (*Artifact, error) {
 	}
 	body := p[16:]
 	if got := crc32.ChecksumIEEE(body); got != wantCRC {
-		return nil, corruptError(body, fmt.Sprintf("envelope checksum mismatch: %#x != %#x", got, wantCRC))
+		detail := fmt.Sprintf("envelope checksum mismatch: %#x != %#x", got, wantCRC)
+		if version == DeltaFormatVersion {
+			return nil, corruptDeltaError(body, detail)
+		}
+		return nil, corruptError(body, version == CurrentFormatVersion, detail)
+	}
+	if version == DeltaFormatVersion {
+		return decodeDeltaBody(body, resolve)
 	}
 
-	a, ends, crcs, err := parseBody(body)
+	a, ends, crcs, err := parseBody(body, version == CurrentFormatVersion)
 	if err != nil {
 		return nil, err
 	}
-	if section, ok := verifySectionCRCs(body, ends, crcs); !ok {
-		return nil, &faults.ArtifactCorruptError{
-			Key:     a.ModelName,
-			Section: section,
-			Detail:  "section checksum mismatch",
+	if version == CurrentFormatVersion {
+		if section, ok := verifySectionCRCs(body, ends, crcs); !ok {
+			return nil, &faults.ArtifactCorruptError{
+				Key:     a.ModelName,
+				Section: section,
+				Detail:  "section checksum mismatch",
+			}
 		}
 	}
 	if err := a.validate(); err != nil {
@@ -302,16 +360,19 @@ func Decode(p []byte) (*Artifact, error) {
 	return a, nil
 }
 
-// corruptError builds the ArtifactCorruptError for a body that failed
-// the envelope checksum, localizing the damage to the first section
-// whose trailer CRC mismatches when the body is still structurally
-// parseable, and falling back to "body" when it is not.
-func corruptError(body []byte, detail string) error {
+// corruptError builds the ArtifactCorruptError for a v1/v2 body that
+// failed the envelope checksum, localizing the damage to the first
+// section whose trailer CRC mismatches when the body is still
+// structurally parseable (v2 only — v1 has no trailer), and falling
+// back to "body" when it is not.
+func corruptError(body []byte, trailer bool, detail string) error {
 	section, key := "body", ""
-	if a, ends, crcs, err := parseBody(body); err == nil {
+	if a, ends, crcs, err := parseBody(body, trailer); err == nil {
 		key = a.ModelName
-		if bad, ok := verifySectionCRCs(body, ends, crcs); !ok {
-			section = bad
+		if trailer {
+			if bad, ok := verifySectionCRCs(body, ends, crcs); !ok {
+				section = bad
+			}
 		}
 	}
 	return &faults.ArtifactCorruptError{Key: key, Section: section, Detail: detail}
@@ -330,11 +391,12 @@ func verifySectionCRCs(body []byte, ends [numBodySections]int, crcs [numBodySect
 	return "", true
 }
 
-// parseBody decodes the six body sections and the checksum trailer,
-// returning the artifact, each section's end offset, and the trailer's
-// stored checksums. It performs no checksum verification and no
-// semantic validation — Decode layers those on top.
-func parseBody(body []byte) (*Artifact, [numBodySections]int, [numBodySections]uint32, error) {
+// parseBody decodes the six body sections and, when trailer is set
+// (v2), the checksum trailer — returning the artifact, each section's
+// end offset, and the trailer's stored checksums. It performs no
+// checksum verification and no semantic validation — Decode layers
+// those on top.
+func parseBody(body []byte, trailer bool) (*Artifact, [numBodySections]int, [numBodySections]uint32, error) {
 	var ends [numBodySections]int
 	var crcs [numBodySections]uint32
 	sec := 0
@@ -437,11 +499,13 @@ func parseBody(body []byte) (*Artifact, [numBodySections]int, [numBodySections]u
 	a.KV.BlockBytes = r.u64()
 	endSection(r)
 
-	if n := r.u8(); n != numBodySections && r.err == nil {
-		r.fail("checksum trailer lists %d sections, want %d", n, numBodySections)
-	}
-	for i := 0; i < numBodySections; i++ {
-		crcs[i] = r.u32()
+	if trailer {
+		if n := r.u8(); n != numBodySections && r.err == nil {
+			r.fail("checksum trailer lists %d sections, want %d", n, numBodySections)
+		}
+		for i := 0; i < numBodySections; i++ {
+			crcs[i] = r.u32()
+		}
 	}
 
 	if r.err != nil {

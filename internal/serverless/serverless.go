@@ -143,6 +143,53 @@ type CacheSpec struct {
 	// (tier- and dedup-dependent), so the template profile must not
 	// also charge the storage read inside the restore stage.
 	ArtifactPreloaded bool
+	// Template, when set, marks the deployment's artifact as
+	// template-factored (wire format v3): the registry holds the shared
+	// per-architecture template plus this model's small delta, and cold
+	// fetches move delta bytes instead of the full artifact. The cluster
+	// simulator registers the template once under its ID and fetches it
+	// alongside the delta (cached independently, shared across sibling
+	// deployments); ArtifactBytes then means the delta's encoded size.
+	Template *medusa.Template
+	// TemplateBytes is the encoded template's size; zero means "encode
+	// to measure". Only meaningful with Template set.
+	TemplateBytes uint64
+}
+
+// ColdFetchBytes is the byte count one cold start must move for the
+// artifact: ArtifactBytes when declared, otherwise measured by
+// encoding — against the template (v3 delta) when template-factored,
+// self-contained (v2) otherwise.
+func (c CacheSpec) ColdFetchBytes() (uint64, error) {
+	if c.ArtifactBytes != 0 {
+		return c.ArtifactBytes, nil
+	}
+	if c.Artifact == nil {
+		return 0, nil
+	}
+	var enc []byte
+	var err error
+	if c.Template != nil {
+		enc, err = c.Artifact.EncodeDelta(c.Template)
+	} else {
+		enc, err = c.Artifact.Encode()
+	}
+	if err != nil {
+		return 0, err
+	}
+	return uint64(len(enc)), nil
+}
+
+// EncodedTemplateBytes is the encoded template's size (TemplateBytes
+// when declared, measured otherwise); zero without a template.
+func (c CacheSpec) EncodedTemplateBytes() uint64 {
+	if c.Template == nil {
+		return 0
+	}
+	if c.TemplateBytes != 0 {
+		return c.TemplateBytes
+	}
+	return uint64(len(c.Template.Encode()))
 }
 
 // SLO sets per-request latency deadlines. The zero value disables SLO
@@ -644,13 +691,9 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 			if err != nil {
 				return nil, fmt.Errorf("serverless: profiling %s fallback: %w", dep.Name, err)
 			}
-			size := dcfg.Cache.ArtifactBytes
-			if size == 0 && dcfg.Cache.Artifact != nil {
-				enc, err := dcfg.Cache.Artifact.Encode()
-				if err != nil {
-					return nil, fmt.Errorf("serverless: encoding %s artifact: %w", dep.Name, err)
-				}
-				size = uint64(len(enc))
+			size, err := dcfg.Cache.ColdFetchBytes()
+			if err != nil {
+				return nil, fmt.Errorf("serverless: encoding %s artifact: %w", dep.Name, err)
 			}
 			artRead = dcfg.Store.Array().ReadDuration(size)
 			fkey = dcfg.Model.Name + "@" + dcfg.Strategy.String()
